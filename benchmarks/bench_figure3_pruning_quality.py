@@ -1,0 +1,34 @@
+"""Figure 3: effect of the pruning threshold τ on precision and recall.
+
+The paper sweeps τ ∈ {0.3, 0.5, 0.7, 0.9} for every dataset and finds
+that raising τ trades recall away (candidate domains shrink until the
+correct value is pruned) for precision, with recall collapsing sharply at
+large τ — e.g. Food's recall drops from 0.77 to 0.36 between τ=0.5 and
+τ=0.7.  This bench reproduces the sweep and asserts the trend; the sweep
+itself is shared with the Figure 4 runtime bench.
+"""
+
+import pytest
+
+from _common import SWEEP_TAUS, fmt, publish, tau_sweep
+
+
+@pytest.mark.parametrize("name", ["hospital", "flights", "food", "physicians"])
+def test_figure3_tau_sweep(name, benchmark):
+    points = benchmark.pedantic(tau_sweep, args=(name,), rounds=1,
+                                iterations=1)
+
+    lines = [f"{'tau':>5} {'Precision':>10} {'Recall':>10}"]
+    for tau in SWEEP_TAUS:
+        quality, _timings = points[tau]
+        lines.append(f"{tau:>5} {fmt(quality.precision, 10)} "
+                     f"{fmt(quality.recall, 10)}")
+    publish(f"figure3_{name}", "\n".join(lines))
+
+    # Shape: recall does not increase with τ (domains only shrink).
+    recalls = [points[tau][0].recall for tau in SWEEP_TAUS]
+    for earlier, later in zip(recalls, recalls[1:]):
+        assert later <= earlier + 0.05, (
+            f"recall should shrink as tau grows on {name}: {recalls}")
+    # Large τ prunes aggressively: recall at 0.9 at or below recall at 0.3.
+    assert recalls[-1] <= recalls[0]

@@ -1,0 +1,32 @@
+"""Figure 4: effect of the pruning threshold τ on compile/repair runtime.
+
+The paper reports (log-scale) that compilation time is largely flat in τ
+while the repair (learning + inference) time *decreases* as τ grows —
+fewer candidate repairs mean a smaller grounded model.  Detection time is
+unaffected by τ and excluded, as in the paper.  The underlying sweep is
+shared with the Figure 3 quality bench.
+"""
+
+import pytest
+
+from _common import SWEEP_TAUS, publish, tau_sweep
+
+
+@pytest.mark.parametrize("name", ["hospital", "flights", "food", "physicians"])
+def test_figure4_tau_runtime(name, benchmark):
+    points = benchmark.pedantic(tau_sweep, args=(name,), rounds=1,
+                                iterations=1)
+
+    lines = [f"{'tau':>5} {'compile (s)':>12} {'repair (s)':>12}"]
+    for tau in SWEEP_TAUS:
+        _quality, timings = points[tau]
+        lines.append(f"{tau:>5} {timings['compile']:>12.2f} "
+                     f"{timings['repair']:>12.2f}")
+    publish(f"figure4_{name}", "\n".join(lines))
+
+    # Shape: the heaviest repair phase happens at (or near) the loosest
+    # threshold, where candidate domains are widest.
+    repair_times = [points[tau][1]["repair"] for tau in SWEEP_TAUS]
+    assert max(repair_times) == pytest.approx(repair_times[0], rel=1.0), (
+        "repair runtime should peak at (or near) the loosest tau")
+    assert all(t > 0 for t in repair_times)

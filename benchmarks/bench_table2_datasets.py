@@ -1,0 +1,38 @@
+"""Table 2: parameters of the evaluation datasets.
+
+Paper values: Hospital 1,000×19 (6,604 violations, 6,140 noisy cells,
+9 ICs); Flights 2,377×6 (84,413 / 11,180, 4 ICs); Food 339,908×17
+(39,322 / 41,254, 7 ICs); Physicians 2,071,849×18 (5,427,322 / 174,557,
+9 ICs).  Hospital and Flights are regenerated at paper size; Food and
+Physicians at bench scale (see ``REPRO_SCALE``).
+"""
+
+import pytest
+
+from _common import BENCH_SIZES, dataset, publish
+
+PAPER = {
+    "hospital": (1000, 19, 9),
+    "flights": (2377, 6, 4),
+    "food": (339908, 17, 7),
+    "physicians": (2071849, 18, 9),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BENCH_SIZES))
+def test_table2_dataset_parameters(name, benchmark):
+    generated = dataset(name)
+    row = benchmark.pedantic(generated.table2_row, rounds=1, iterations=1)
+
+    text = (f"{'Parameter':<12} {'measured':>10} {'paper':>10}\n"
+            f"{'Tuples':<12} {row['tuples']:>10} {PAPER[name][0]:>10}\n"
+            f"{'Attributes':<12} {row['attributes']:>10} {PAPER[name][1]:>10}\n"
+            f"{'Violations':<12} {row['violations']:>10} {'—':>10}\n"
+            f"{'Noisy cells':<12} {row['noisy_cells']:>10} {'—':>10}\n"
+            f"{'ICs':<12} {row['ics']:>10} {PAPER[name][2]:>10}")
+    publish(f"table2_{name}", text)
+
+    assert row["attributes"] == PAPER[name][1]
+    assert row["ics"] == PAPER[name][2]
+    assert row["violations"] > 0
+    assert 0 < row["noisy_cells"] <= row["tuples"] * row["attributes"]

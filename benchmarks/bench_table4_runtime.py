@@ -1,0 +1,52 @@
+"""Table 4: end-to-end runtimes of every method on every dataset.
+
+Paper values: Hospital — HoloClean 147.97 s, Holistic 5.67 s, KATARA
+2.01 s, SCARE 24.67 s; Flights — 70.6 / 80.4 / n/a / 13.97 s; Food —
+32.8 min / 7.6 min / 1.7 min / DNF; Physicians — 6.5 h / 2.03 h /
+15.5 min / DNF.  Absolute numbers differ on our substrate; the *ordering*
+to preserve: KATARA fastest, Holistic fast, HoloClean slower than the
+constraint-only baseline but tractable, SCARE DNF on the large datasets.
+"""
+
+import pytest
+
+from _common import baseline_run, dataset, holoclean_run, publish
+
+METHODS = ("HoloClean", "Holistic", "KATARA", "SCARE")
+
+
+@pytest.mark.parametrize("name", ["hospital", "flights", "food", "physicians"])
+def test_table4_runtimes(name, benchmark):
+    generated = dataset(name)
+
+    def collect():
+        rows = {}
+        hc_run, _ = holoclean_run(name)
+        rows["HoloClean"] = (hc_run.runtime, False, hc_run.timings)
+        for method in ("Holistic", "KATARA", "SCARE"):
+            run = baseline_run(name, method)
+            applicable = run.quality is not None or run.timed_out
+            rows[method] = (run.runtime if applicable else None,
+                            run.timed_out, {})
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = [f"{'Method':<10} {'runtime':>12}  phases"]
+    for method in METHODS:
+        runtime, timed_out, phases = rows[method]
+        if timed_out:
+            cell = "DNF"
+        elif runtime is None:
+            cell = "n/a"
+        else:
+            cell = f"{runtime:10.2f}s"
+        detail = " ".join(f"{k}={v:.2f}s" for k, v in phases.items())
+        lines.append(f"{method:<10} {cell:>12}  {detail}")
+    publish(f"table4_{name}", "\n".join(lines))
+
+    # Shape: KATARA (when applicable) is the fastest method.
+    katara_runtime = rows["KATARA"][0]
+    if katara_runtime is not None and not rows["KATARA"][1]:
+        assert katara_runtime <= rows["HoloClean"][0]
+    assert rows["HoloClean"][0] > 0

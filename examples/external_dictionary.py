@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""External-data scenario: matching dependencies against a dictionary.
+
+Demonstrates the paper's Example 3: an address listing is attached to the
+dirty relation through matching dependencies (m1/m2 of Figure 1C), the
+``Matched`` relation is grounded, and the per-dictionary reliability
+weight ``w(k)`` lets HoloClean lean on the dictionary for cells the
+statistical signals cannot decide — while §6.3.2's finding (small overall
+F1 gain, limited by dictionary coverage) is reproduced on the Food
+dataset.
+
+Run with::
+
+    python examples/external_dictionary.py
+"""
+
+from repro import (
+    Dataset,
+    ExternalDictionary,
+    HoloClean,
+    HoloCleanConfig,
+    MatchingDependency,
+    MatchPredicate,
+    Schema,
+    parse_fd,
+)
+from repro.data import generate_food
+from repro.eval.harness import run_holoclean
+from repro.external.matcher import match_dictionary
+
+# ---------------------------------------------------------------------------
+# 1. Example 3 in miniature: ground Matched(t, City, c2, k).
+# ---------------------------------------------------------------------------
+schema = Schema(["Address", "City", "State", "Zip"])
+rows = [
+    ["3465 S Morgan ST", "Cicago", "IL", "60608"],
+    ["3465 S Morgan ST", "Chicago", "IL", "60608"],
+    ["100 W Lake ST", "Chicago", "IL", "60601"],
+]
+# Duplicate context rows (inspection records repeat across years) give the
+# learner clean evidence to train the dictionary weight on.
+rows += [["3465 S Morgan ST", "Chicago", "IL", "60608"]] * 6
+rows += [["100 W Lake ST", "Chicago", "IL", "60601"]] * 6
+dataset = Dataset(schema, rows)
+dictionary = ExternalDictionary("chicago-addresses",
+                                ["Ext_Address", "Ext_City", "Ext_State",
+                                 "Ext_Zip"], [
+    {"Ext_Address": "3465 S Morgan ST", "Ext_City": "Chicago",
+     "Ext_State": "IL", "Ext_Zip": "60608"},
+    {"Ext_Address": "100 W Lake ST", "Ext_City": "Chicago",
+     "Ext_State": "IL", "Ext_Zip": "60601"},
+])
+m1 = MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                        "City", "Ext_City", name="m1")
+m2 = MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                        "State", "Ext_State", name="m2")
+
+matched = match_dictionary(dataset, dictionary, [m1, m2])
+print("Grounded Matched facts (Example 3):")
+for fact in matched:
+    print(f"  Matched({fact.cell}, {fact.value!r}, k={fact.dictionary}) "
+          f"support={fact.support}")
+
+constraints = [dc for dc in parse_fd("Zip -> City,State").to_denial_constraints()]
+result = HoloClean(HoloCleanConfig(tau=0.3, epochs=30, seed=1)).repair(
+    dataset, constraints, dictionaries=[dictionary],
+    matching_dependencies=[m1, m2])
+print("\nRepairs with dictionary support:")
+for cell, inference in sorted(result.repairs.items()):
+    print(f"  {cell}: {inference.init_value!r} -> {inference.chosen_value!r}"
+          f" (p={inference.confidence:.2f})")
+
+# ---------------------------------------------------------------------------
+# 2. §6.3.2 at dataset scale: the dictionary's marginal F1 contribution.
+# ---------------------------------------------------------------------------
+print("\nFood dataset: HoloClean with vs without the address dictionary…")
+generated = generate_food(num_rows=800)
+without, _ = run_holoclean(generated)
+with_dict, _ = run_holoclean(generated, use_external=True)
+print(f"  F1 without dictionary: {without.quality.f1:.4f}")
+print(f"  F1 with dictionary:    {with_dict.quality.f1:.4f}")
+print(f"  gain: {with_dict.quality.f1 - without.quality.f1:+.4f} "
+      f"(the paper reports gains below 1% — coverage-limited)")

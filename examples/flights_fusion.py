@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Flights scenario: learning source reliability to fuse conflicting data.
+
+The Flights dataset (Li et al. [30]) is the paper's stress test: dozens
+of web sources report departure/arrival times for the same flights and
+most cells are in conflict.  Constraint-based repairs fail outright
+(Holistic performs no correct repairs in Table 3) because every repair
+context receives contradictory demands; HoloClean instead treats the
+``Source`` column as provenance, learns a reliability weight per source
+(the SLiMFast [35] signal), and recovers the true schedule.
+
+Run with::
+
+    python examples/flights_fusion.py [num_flights]
+"""
+
+import sys
+
+from repro.baselines.holistic import HolisticRepair
+from repro.data import generate_flights
+from repro.eval.harness import run_holoclean
+from repro.eval.metrics import evaluate_repairs
+
+num_flights = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+
+print(f"Generating Flights dataset ({num_flights} flights × 34 sources)…")
+generated = generate_flights(num_flights=num_flights)
+row = generated.table2_row()
+print(f"  {row['tuples']} tuples, {row['violations']} violations, "
+      f"{row['noisy_cells']} noisy cells "
+      f"({row['noisy_cells'] / generated.dirty.num_cells:.0%} of all cells), "
+      f"{generated.num_errors} wrong values\n")
+
+print("Running HoloClean (tau = 0.3, source features on)…")
+hc_run, result = run_holoclean(generated)
+print(f"  {result.summary()}")
+print(f"  quality: {hc_run.quality}\n")
+
+print("Running Holistic (minimality over denial constraints)…")
+holistic = HolisticRepair(generated.constraints).run(generated.dirty)
+quality = evaluate_repairs(generated.dirty, holistic.repaired,
+                           generated.clean,
+                           error_cells=generated.error_cells)
+print(f"  quality: {quality}")
+fresh = sum(1 for v in holistic.repairs.values()
+            if v.startswith("__fresh_"))
+print(f"  {fresh}/{len(holistic.repairs)} repairs were fresh placeholder "
+      f"values (contradictory repair contexts)\n")
+
+print("Why it works: every source's reports vote for candidate values; "
+      "training over the\nplurality-labelled evidence assigns higher "
+      "weights to sources that consistently\nagree with the consensus — "
+      "the reliable airline/airport feeds.")
+assert hc_run.quality.f1 > quality.f1

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Food-inspections scenario: cleaning a city dataset at scale.
+
+Generates the Food benchmark analogue (establishments inspected across
+years, with non-systematic transcription errors), runs HoloClean with the
+paper's Table 3 configuration (τ = 0.5), and compares against the
+Holistic constraint-only baseline — reproducing the motivating story of
+the paper's introduction on a realistic workload.
+
+Run with::
+
+    python examples/food_inspections.py [num_rows]
+"""
+
+import sys
+
+from repro.baselines.holistic import HolisticRepair
+from repro.data import generate_food
+from repro.eval.harness import run_holoclean
+from repro.eval.metrics import evaluate_repairs
+
+num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+
+print(f"Generating Food dataset ({num_rows} inspection records)…")
+generated = generate_food(num_rows=num_rows)
+row = generated.table2_row()
+print(f"  {row['tuples']} tuples × {row['attributes']} attributes, "
+      f"{row['violations']} violations, {row['noisy_cells']} noisy cells, "
+      f"{generated.num_errors} injected errors\n")
+
+print("Running HoloClean (tau = 0.5, denial constraints as features)…")
+hc_run, result = run_holoclean(generated)
+print(f"  {result.summary()}")
+print(f"  quality: {hc_run.quality}\n")
+
+print("Running the Holistic baseline (constraints + minimality)…")
+holistic = HolisticRepair(generated.constraints).run(generated.dirty)
+holistic_quality = evaluate_repairs(generated.dirty, holistic.repaired,
+                                    generated.clean,
+                                    error_cells=generated.error_cells)
+print(f"  {len(holistic.repairs)} repairs in {holistic.runtime:.1f}s")
+print(f"  quality: {holistic_quality}\n")
+
+improvement = (hc_run.quality.f1 / holistic_quality.f1
+               if holistic_quality.f1 else float("inf"))
+print(f"HoloClean F1 improvement over Holistic: {improvement:.2f}x")
+
+print("\nExample repairs:")
+for cell, inference in list(sorted(result.repairs.items()))[:8]:
+    truth = generated.clean.cell_value(cell)
+    verdict = "✓" if inference.chosen_value == truth else "✗"
+    print(f"  {verdict} {cell}: {inference.init_value!r} -> "
+          f"{inference.chosen_value!r} (p={inference.confidence:.2f}, "
+          f"truth {truth!r})")

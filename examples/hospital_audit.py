@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Hospital scenario: confidence-aware repair auditing (Figure 6).
+
+Runs HoloClean on the classic Hospital benchmark and then *audits* the
+proposed repairs by marginal probability, reproducing the paper's
+calibration analysis: high-confidence repairs are almost always correct,
+so a practitioner can accept the [0.9, 1.0] bucket wholesale and route
+only the low-confidence tail to human review (the user-feedback loop
+sketched in Section 2.2).
+
+Run with::
+
+    python examples/hospital_audit.py [num_rows]
+"""
+
+import sys
+
+from repro.data import generate_hospital
+from repro.eval.buckets import bucket_error_rates
+from repro.eval.harness import run_holoclean
+
+num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+
+print(f"Generating Hospital benchmark ({num_rows} rows, ~5% 'x' typos)…")
+generated = generate_hospital(num_rows=num_rows)
+print(f"  {generated.num_errors} injected errors\n")
+
+print("Running HoloClean (tau = 0.5)…")
+hc_run, result = run_holoclean(generated)
+print(f"  {result.summary()}")
+print(f"  quality: {hc_run.quality}\n")
+
+report = bucket_error_rates(result, generated.clean)
+print("Repair audit by marginal probability (compare Figure 6):")
+print(f"  {'bucket':<12} {'repairs':>8} {'errors':>7} {'error-rate':>11}")
+for label, count, errors, rate in zip(report.labels(), report.counts,
+                                      report.errors, report.error_rates):
+    rate_text = f"{rate:.3f}" if rate is not None else "—"
+    print(f"  {label:<12} {count:>8} {errors:>7} {rate_text:>11}")
+
+to_review = sum(c for c, (lo, _hi) in zip(report.counts, report.buckets)
+                if lo < 0.7)
+print(f"\nSuggested workflow: auto-apply the high-confidence repairs and "
+      f"send {to_review} low-confidence\nproposals (confidence < 0.7) to "
+      f"a human reviewer — the marginals carry rigorous semantics.")

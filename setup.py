@@ -1,0 +1,24 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which build an editable wheel) cannot run.
+This classic ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` code path, which works offline.  Metadata
+lives in ``pyproject.toml``/here and stays in sync by hand.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "HoloClean: holistic data repairs with probabilistic inference "
+        "(VLDB 2017) — full reproduction"
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+)

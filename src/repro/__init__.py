@@ -1,0 +1,92 @@
+"""HoloClean reproduction: holistic data repairs with probabilistic inference.
+
+This package reproduces *HoloClean: Holistic Data Repairs with
+Probabilistic Inference* (Rekatsinas, Chu, Ilyas, Ré — VLDB 2017) as a
+self-contained Python library: the probabilistic repair engine, every
+substrate it depends on (constraint language, error detection, a
+DeepDive-style inference engine, external-data matching), the three
+competing baselines of the evaluation (Holistic, KATARA, SCARE), and
+generators for the four evaluation datasets.
+
+Quickstart
+----------
+>>> from repro import HoloClean, HoloCleanConfig, parse_fd
+>>> fds = [parse_fd("Zip -> City,State")]
+>>> dcs = [dc for fd in fds for dc in fd.to_denial_constraints()]
+>>> result = HoloClean(HoloCleanConfig(tau=0.5)).repair(dataset, dcs)  # doctest: +SKIP
+"""
+
+from repro.dataset import Attribute, Cell, Dataset, NULL, Schema, Statistics
+from repro.dataset import read_csv, write_csv
+from repro.constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    MatchingDependency,
+    MatchPredicate,
+    Operator,
+    Predicate,
+    TupleRef,
+    Const,
+    parse_dc,
+    parse_dcs,
+    parse_fd,
+    format_dc,
+)
+from repro.detect import (
+    DetectionResult,
+    EnsembleDetector,
+    ExternalDetector,
+    NullDetector,
+    OutlierDetector,
+    ViolationDetector,
+)
+from repro.external import ExternalDictionary
+from repro.core import (
+    HoloClean,
+    HoloCleanConfig,
+    RepairResult,
+    RepairSession,
+    CellInference,
+    DomainPruner,
+    VARIANTS,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Cell",
+    "Dataset",
+    "NULL",
+    "Schema",
+    "Statistics",
+    "read_csv",
+    "write_csv",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "MatchingDependency",
+    "MatchPredicate",
+    "Operator",
+    "Predicate",
+    "TupleRef",
+    "Const",
+    "parse_dc",
+    "parse_dcs",
+    "parse_fd",
+    "format_dc",
+    "DetectionResult",
+    "EnsembleDetector",
+    "ExternalDetector",
+    "NullDetector",
+    "OutlierDetector",
+    "ViolationDetector",
+    "ExternalDictionary",
+    "HoloClean",
+    "HoloCleanConfig",
+    "RepairResult",
+    "RepairSession",
+    "CellInference",
+    "DomainPruner",
+    "VARIANTS",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Common interface for repair methods (HoloClean and the baselines)."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.dataset.dataset import Cell, Dataset
+
+
+class MethodTimeout(RuntimeError):
+    """Raised when a method exceeds its time budget.
+
+    The paper reports SCARE "failed to terminate after running for three
+    days" on Food and Physicians; benchmark harnesses catch this exception
+    and report a DNF instead of waiting.
+    """
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one repair method run."""
+
+    repaired: Dataset
+    repairs: dict[Cell, str] = field(default_factory=dict)  # cell → new value
+    runtime: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def num_repairs(self) -> int:
+        return len(self.repairs)
+
+
+class RepairMethod(abc.ABC):
+    """A data-repairing method with a uniform entry point."""
+
+    name: str = "method"
+
+    @abc.abstractmethod
+    def run(self, dataset: Dataset) -> MethodResult:
+        """Repair ``dataset`` (not mutated) and return the result."""
+
+
+class Deadline:
+    """Cooperative time budget shared by long-running loops."""
+
+    def __init__(self, budget_seconds: float | None):
+        self._budget = budget_seconds
+        self._started = time.perf_counter()
+
+    def check(self, method_name: str) -> None:
+        if self._budget is not None:
+            if time.perf_counter() - self._started > self._budget:
+                raise MethodTimeout(
+                    f"{method_name} exceeded its {self._budget:.0f}s budget")
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started

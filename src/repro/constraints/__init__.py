@@ -1,0 +1,56 @@
+"""Constraint language: denial constraints and matching dependencies.
+
+Denial constraints (Section 3.1) are first-order formulas
+``∀t1,t2 ∈ D: ¬(P1 ∧ … ∧ PK)`` whose predicates compare cells of up to two
+tuples (or a cell with a constant) using the operator set
+``{=, ≠, <, >, ≤, ≥, ≈}``.  They subsume functional dependencies and
+conditional functional dependencies.  Matching dependencies (Section 4.2)
+specify lookups against external dictionaries.
+"""
+
+from repro.constraints.predicates import Operator, Operand, TupleRef, Const, Predicate
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.parser import parse_dc, parse_dcs, format_dc, DCParseError
+from repro.constraints.fd import FunctionalDependency, parse_fd
+from repro.constraints.discovery import (
+    DiscoveredFD,
+    discover_fds,
+    discovered_to_constraints,
+)
+from repro.constraints.extended import (
+    ConditionalFunctionalDependency,
+    MetricFunctionalDependency,
+)
+from repro.constraints.matching import MatchPredicate, MatchingDependency
+from repro.constraints.similarity import (
+    levenshtein,
+    normalized_similarity,
+    jaccard,
+    similar,
+)
+
+__all__ = [
+    "Operator",
+    "Operand",
+    "TupleRef",
+    "Const",
+    "Predicate",
+    "DenialConstraint",
+    "parse_dc",
+    "parse_dcs",
+    "format_dc",
+    "DCParseError",
+    "FunctionalDependency",
+    "parse_fd",
+    "DiscoveredFD",
+    "discover_fds",
+    "discovered_to_constraints",
+    "ConditionalFunctionalDependency",
+    "MetricFunctionalDependency",
+    "MatchPredicate",
+    "MatchingDependency",
+    "levenshtein",
+    "normalized_similarity",
+    "jaccard",
+    "similar",
+]

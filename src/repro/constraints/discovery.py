@@ -1,0 +1,123 @@
+"""Approximate functional-dependency discovery.
+
+HoloClean assumes denial constraints are *given*; in practice they come
+from profiling tools such as Chu et al.'s denial-constraint discovery
+[11], which the paper cites for its error-detection pipeline.  This
+module provides the FD fragment of that substrate: it proposes
+``LHS → RHS`` dependencies that hold on most of a (possibly dirty)
+relation, with a confidence score tolerant of the very errors HoloClean
+will later repair.
+
+Confidence of ``X → A`` is measured g3-style: the fraction of tuples that
+would remain after deleting the minimum set making the FD exact —
+``Σ_groups max_value_count / Σ_groups group_size``.  Keys (groups of
+size 1) trivially satisfy every FD, so candidates whose average group
+size is too small are filtered out as uninformative.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.constraints.fd import FunctionalDependency
+from repro.dataset.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class DiscoveredFD:
+    """A candidate dependency with its evidence."""
+
+    fd: FunctionalDependency
+    confidence: float
+    support: int          # tuples with non-NULL LHS and RHS
+    violations: int       # tuples that must change for the FD to hold
+
+    def __str__(self) -> str:
+        return (f"{self.fd}  (confidence {self.confidence:.3f}, "
+                f"support {self.support}, violations {self.violations})")
+
+
+def discover_fds(dataset: Dataset, max_lhs: int = 2,
+                 min_confidence: float = 0.95, min_support: int = 20,
+                 min_group_size: float = 2.0,
+                 attributes: list[str] | None = None) -> list[DiscoveredFD]:
+    """Propose approximate FDs holding on the dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The (dirty) relation to profile.
+    max_lhs:
+        Maximum attributes on the left-hand side (1 or 2 is practical).
+    min_confidence:
+        g3 confidence threshold; below 1.0 tolerates dirty data.
+    min_support:
+        Minimum tuples with non-NULL values on both sides.
+    min_group_size:
+        Minimum *average* LHS-group size; filters out key-like LHS whose
+        FDs are trivially confident but carry no repair signal.
+    attributes:
+        Restrict profiling to these attributes (default: data attributes).
+
+    Returns
+    -------
+    Discovered FDs sorted by descending confidence, then support.
+    Non-minimal dependencies (a superset LHS implying the same RHS that a
+    discovered subset LHS already implies) are suppressed.
+    """
+    attrs = attributes or dataset.schema.data_attributes
+    found: list[DiscoveredFD] = []
+    confirmed_lhs_by_rhs: dict[str, list[frozenset[str]]] = defaultdict(list)
+
+    lhs_candidates: list[tuple[str, ...]] = [(a,) for a in attrs]
+    for size in range(2, max_lhs + 1):
+        lhs_candidates.extend(itertools.combinations(attrs, size))
+
+    for lhs in lhs_candidates:
+        lhs_set = frozenset(lhs)
+        lhs_idx = [dataset.schema.index_of(a) for a in lhs]
+        for rhs in attrs:
+            if rhs in lhs_set:
+                continue
+            # Minimality: skip if a subset LHS already implies this RHS.
+            if any(prior < lhs_set
+                   for prior in confirmed_lhs_by_rhs.get(rhs, ())):
+                continue
+            rhs_idx = dataset.schema.index_of(rhs)
+            groups: dict[tuple, Counter] = defaultdict(Counter)
+            support = 0
+            for tid in dataset.tuple_ids:
+                row = dataset.row_ref(tid)
+                key = tuple(row[i] for i in lhs_idx)
+                value = row[rhs_idx]
+                if value is None or any(v is None for v in key):
+                    continue
+                groups[key][value] += 1
+                support += 1
+            if support < min_support or not groups:
+                continue
+            if support / len(groups) < min_group_size:
+                continue  # key-like LHS: trivially functional
+            kept = sum(counts.most_common(1)[0][1]
+                       for counts in groups.values())
+            confidence = kept / support
+            if confidence < min_confidence:
+                continue
+            fd = FunctionalDependency(list(lhs), [rhs])
+            found.append(DiscoveredFD(fd=fd, confidence=confidence,
+                                      support=support,
+                                      violations=support - kept))
+            confirmed_lhs_by_rhs[rhs].append(lhs_set)
+
+    found.sort(key=lambda d: (-d.confidence, -d.support, str(d.fd)))
+    return found
+
+
+def discovered_to_constraints(discovered: list[DiscoveredFD]):
+    """Compile discovered FDs straight into denial constraints."""
+    out = []
+    for d in discovered:
+        out.extend(d.fd.to_denial_constraints())
+    return out

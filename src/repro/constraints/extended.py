@@ -1,0 +1,131 @@
+"""Conditional and metric functional dependencies.
+
+Section 3.1 of the paper: "Denial constraints subsume several types of
+integrity constraints such as functional dependencies, conditional
+functional dependencies [8], and metric functional dependencies [28]."
+This module makes the subsumption executable: both classes compile to
+the denial constraints of :mod:`repro.constraints.denial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+
+
+@dataclass(frozen=True)
+class ConditionalFunctionalDependency:
+    """A CFD [8]: an FD that holds on the tuples matching a pattern.
+
+    Parameters
+    ----------
+    lhs, rhs:
+        The embedded FD ``lhs → rhs`` (one right-hand attribute).
+    pattern:
+        Constant bindings over (a subset of) the LHS attributes; tuples
+        must match all of them for the dependency to apply.  Unbound LHS
+        attributes behave as the tableau wildcard ``_``.
+    rhs_constant:
+        When given, matching tuples must carry this exact RHS value (a
+        *constant* CFD, compiling to a single-tuple denial constraint);
+        otherwise matching tuple pairs must agree on the RHS (a
+        *variable* CFD).
+
+    Example: "in the UK, zip determines street" is
+    ``ConditionalFunctionalDependency(("Country", "Zip"), "Street",
+    pattern={"Country": "UK"})``.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+    pattern: dict[str, str]
+    rhs_constant: str | None = None
+
+    def __init__(self, lhs, rhs: str, pattern: dict[str, str] | None = None,
+                 rhs_constant: str | None = None):
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "pattern", dict(pattern or {}))
+        object.__setattr__(self, "rhs_constant", rhs_constant)
+        if not self.lhs:
+            raise ValueError("CFD needs a non-empty LHS")
+        if self.rhs in self.lhs:
+            raise ValueError("RHS attribute cannot appear in the LHS")
+        unknown = set(self.pattern) - set(self.lhs)
+        if unknown:
+            raise ValueError(
+                f"pattern binds attributes outside the LHS: {sorted(unknown)}")
+
+    def to_denial_constraints(self) -> list[DenialConstraint]:
+        """Compile per Section 3.1's subsumption argument."""
+        name = f"cfd_{'_'.join(self.lhs)}__{self.rhs}"
+        if self.rhs_constant is not None:
+            # Constant CFD: ∀t1 ¬(pattern(t1) ∧ t1.rhs ≠ c).
+            preds = [
+                Predicate(TupleRef(1, a), Operator.EQ, Const(v))
+                for a, v in sorted(self.pattern.items())
+            ]
+            preds.append(Predicate(TupleRef(1, self.rhs), Operator.NEQ,
+                                   Const(self.rhs_constant)))
+            return [DenialConstraint(preds, name=name)]
+        # Variable CFD: ∀t1,t2 ¬(t1.lhs = t2.lhs ∧ pattern(t1) ∧
+        #                         pattern(t2) ∧ t1.rhs ≠ t2.rhs).
+        preds = [
+            Predicate(TupleRef(1, a), Operator.EQ, TupleRef(2, a))
+            for a in self.lhs
+        ]
+        for a, v in sorted(self.pattern.items()):
+            preds.append(Predicate(TupleRef(1, a), Operator.EQ, Const(v)))
+            preds.append(Predicate(TupleRef(2, a), Operator.EQ, Const(v)))
+        preds.append(Predicate(TupleRef(1, self.rhs), Operator.NEQ,
+                               TupleRef(2, self.rhs)))
+        return [DenialConstraint(preds, name=name)]
+
+    def __str__(self) -> str:
+        tableau = ", ".join(f"{a}={v!r}" for a, v in sorted(self.pattern.items()))
+        rhs = (f"{self.rhs}={self.rhs_constant!r}" if self.rhs_constant
+               else self.rhs)
+        return f"{','.join(self.lhs)} -> {rhs} [{tableau}]"
+
+
+@dataclass(frozen=True)
+class MetricFunctionalDependency:
+    """A metric FD [28]: LHS-equal tuples must have *similar* RHS values.
+
+    Tolerates benign variation ("2:00 PM" vs "2:01 PM", trailing
+    whitespace, single typos) that an exact FD would flag.  Compiles to
+    ``∀t1,t2 ¬(t1.lhs = t2.lhs ∧ t1.rhs !≈ t2.rhs)`` using the negated
+    similarity operator.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+    threshold: float = 0.8
+
+    def __init__(self, lhs, rhs: str, threshold: float = 0.8):
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "threshold", threshold)
+        if not self.lhs:
+            raise ValueError("metric FD needs a non-empty LHS")
+        if self.rhs in self.lhs:
+            raise ValueError("RHS attribute cannot appear in the LHS")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+
+    def to_denial_constraints(self) -> list[DenialConstraint]:
+        preds = [
+            Predicate(TupleRef(1, a), Operator.EQ, TupleRef(2, a))
+            for a in self.lhs
+        ]
+        preds.append(Predicate(TupleRef(1, self.rhs), Operator.NSIM,
+                               TupleRef(2, self.rhs),
+                               sim_threshold=self.threshold))
+        name = f"mfd_{'_'.join(self.lhs)}__{self.rhs}"
+        return [DenialConstraint(preds, name=name)]
+
+    def __str__(self) -> str:
+        return (f"{','.join(self.lhs)} -> {self.rhs} "
+                f"(≈ at {self.threshold:.2f})")

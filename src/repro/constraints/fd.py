@@ -1,0 +1,59 @@
+"""Functional dependencies and their compilation to denial constraints.
+
+Example 2 of the paper: the FD ``Zip → City, State`` becomes the two
+denial constraints::
+
+    ∀t1,t2: ¬(t1.Zip = t2.Zip ∧ t1.City  ≠ t2.City)
+    ∀t1,t2: ¬(t1.Zip = t2.Zip ∧ t1.State ≠ t2.State)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Operator, Predicate, TupleRef
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs → rhs`` over attribute names."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __init__(self, lhs, rhs):
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", tuple(rhs))
+        if not self.lhs or not self.rhs:
+            raise ValueError("FD needs non-empty lhs and rhs")
+        overlap = set(self.lhs) & set(self.rhs)
+        if overlap:
+            raise ValueError(f"attributes on both sides of FD: {sorted(overlap)}")
+
+    def to_denial_constraints(self) -> list[DenialConstraint]:
+        """One DC per right-hand-side attribute (Example 2 construction)."""
+        out = []
+        for target in self.rhs:
+            preds = [
+                Predicate(TupleRef(1, a), Operator.EQ, TupleRef(2, a))
+                for a in self.lhs
+            ]
+            preds.append(Predicate(TupleRef(1, target), Operator.NEQ,
+                                   TupleRef(2, target)))
+            name = f"fd_{'_'.join(self.lhs)}__{target}"
+            out.append(DenialConstraint(preds, name=name))
+        return out
+
+    def __str__(self) -> str:
+        return f"{','.join(self.lhs)} -> {','.join(self.rhs)}"
+
+
+def parse_fd(text: str) -> FunctionalDependency:
+    """Parse ``"A,B -> C,D"`` into a :class:`FunctionalDependency`."""
+    if "->" not in text:
+        raise ValueError(f"FD must contain '->': {text!r}")
+    lhs_text, rhs_text = text.split("->", 1)
+    lhs = [a.strip() for a in lhs_text.split(",") if a.strip()]
+    rhs = [a.strip() for a in rhs_text.split(",") if a.strip()]
+    return FunctionalDependency(lhs, rhs)

@@ -1,0 +1,71 @@
+"""Matching dependencies against external dictionaries.
+
+Figure 1(C) of the paper, e.g.::
+
+    m1: Zip = Ext_Zip → City = Ext_City
+
+A :class:`MatchingDependency` has *match predicates* (how a dataset tuple is
+aligned with a dictionary entry, optionally with similarity ``≈``) and one
+*consequence*: the dataset attribute whose value should equal a dictionary
+attribute whenever the match fires.  The external-data module grounds these
+into the ``Matched(t, a, v, k)`` relation of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.similarity import similar
+
+
+@dataclass(frozen=True)
+class MatchPredicate:
+    """``dataset_attr (=|≈) dict_attr`` used to align tuples with entries."""
+
+    dataset_attribute: str
+    dict_attribute: str
+    fuzzy: bool = False
+    sim_threshold: float = 0.8
+
+    def matches(self, dataset_value: str | None, dict_value: str | None) -> bool:
+        if dataset_value is None or dict_value is None:
+            return False
+        if self.fuzzy:
+            return similar(dataset_value, dict_value, self.sim_threshold)
+        return dataset_value == dict_value
+
+    def __str__(self) -> str:
+        op = "≈" if self.fuzzy else "="
+        return f"{self.dataset_attribute} {op} Ext_{self.dict_attribute}"
+
+
+@dataclass(frozen=True)
+class MatchingDependency:
+    """``match_1 ∧ … ∧ match_n → target_attr = Ext_{dict_target}``."""
+
+    matches: tuple[MatchPredicate, ...]
+    target_attribute: str
+    dict_target_attribute: str
+    name: str = ""
+
+    def __init__(self, matches, target_attribute: str,
+                 dict_target_attribute: str, name: str = ""):
+        object.__setattr__(self, "matches", tuple(matches))
+        object.__setattr__(self, "target_attribute", target_attribute)
+        object.__setattr__(self, "dict_target_attribute", dict_target_attribute)
+        object.__setattr__(self, "name", name or f"md_{target_attribute}")
+        if not self.matches:
+            raise ValueError("matching dependency needs at least one match predicate")
+
+    def entry_matches(self, tuple_values: dict[str, str | None],
+                      entry: dict[str, str | None]) -> bool:
+        """Does dictionary ``entry`` align with the dataset tuple?"""
+        return all(
+            m.matches(tuple_values.get(m.dataset_attribute),
+                      entry.get(m.dict_attribute))
+            for m in self.matches
+        )
+
+    def __str__(self) -> str:
+        lhs = " ∧ ".join(str(m) for m in self.matches)
+        return f"{lhs} → {self.target_attribute} = Ext_{self.dict_target_attribute}"

@@ -1,0 +1,171 @@
+"""Textual denial-constraint format and parser.
+
+We adopt the format used by the reference HoloClean release::
+
+    t1&t2&EQ(t1.ZipCode,t2.ZipCode)&IQ(t1.City,t2.City)
+
+* The leading ``t1`` (and optional ``t2``) declare the quantified tuples.
+* Each remaining ``&``-separated term is ``OP(operand,operand)`` where
+  ``OP`` is one of ``EQ IQ LT GT LTE GTE SIM`` (``IQ`` = inequality,
+  ``SIM`` = the paper's ≈).
+* Operands are ``tN.Attr`` references or quoted/bare constants, e.g.
+  ``EQ(t1.State,"IL")``.
+
+:func:`format_dc` renders a constraint back into this format and round-trips
+with :func:`parse_dc`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+
+
+class DCParseError(ValueError):
+    """Raised when a denial-constraint string is malformed."""
+
+
+_OP_NAMES: dict[str, Operator] = {
+    "EQ": Operator.EQ,
+    "IQ": Operator.NEQ,
+    "NEQ": Operator.NEQ,
+    "LT": Operator.LT,
+    "GT": Operator.GT,
+    "LTE": Operator.LTE,
+    "GTE": Operator.GTE,
+    "SIM": Operator.SIM,
+    "NSIM": Operator.NSIM,
+}
+
+_NAME_FOR_OP: dict[Operator, str] = {
+    Operator.EQ: "EQ",
+    Operator.NEQ: "IQ",
+    Operator.LT: "LT",
+    Operator.GT: "GT",
+    Operator.LTE: "LTE",
+    Operator.GTE: "GTE",
+    Operator.SIM: "SIM",
+    Operator.NSIM: "NSIM",
+}
+
+_PRED_RE = re.compile(r"^([A-Z]+)\((.+)\)$")
+_REF_RE = re.compile(r"^t([12])\.(.+)$")
+
+
+def _split_terms(text: str) -> list[str]:
+    """Split on ``&`` at depth 0 (constants may contain ``&``)."""
+    terms, depth, current = [], 0, []
+    in_quote = False
+    for ch in text:
+        if ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif ch == "(" and not in_quote:
+            depth += 1
+            current.append(ch)
+        elif ch == ")" and not in_quote:
+            depth -= 1
+            current.append(ch)
+        elif ch == "&" and depth == 0 and not in_quote:
+            terms.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    terms.append("".join(current))
+    return [t.strip() for t in terms if t.strip()]
+
+
+def _split_operands(body: str) -> list[str]:
+    """Split a predicate body on the top-level comma."""
+    parts, in_quote = [], False
+    current: list[str] = []
+    for ch in body:
+        if ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif ch == "," and not in_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p.strip() for p in parts]
+
+
+def _parse_operand(text: str):
+    match = _REF_RE.match(text)
+    if match:
+        return TupleRef(int(match.group(1)), match.group(2))
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return Const(text[1:-1])
+    if not text:
+        raise DCParseError("empty operand")
+    return Const(text)
+
+
+def parse_dc(text: str, name: str = "", sim_threshold: float = 0.8) -> DenialConstraint:
+    """Parse one denial constraint from its textual form."""
+    terms = _split_terms(text)
+    if not terms:
+        raise DCParseError(f"empty denial constraint: {text!r}")
+    # Skip the leading tuple declarations (t1, t2).
+    preds_start = 0
+    for term in terms:
+        if term in ("t1", "t2"):
+            preds_start += 1
+        else:
+            break
+    pred_terms = terms[preds_start:]
+    if not pred_terms:
+        raise DCParseError(f"constraint has no predicates: {text!r}")
+
+    predicates: list[Predicate] = []
+    for term in pred_terms:
+        match = _PRED_RE.match(term)
+        if not match:
+            raise DCParseError(f"malformed predicate {term!r} in {text!r}")
+        op_name, body = match.group(1), match.group(2)
+        op = _OP_NAMES.get(op_name)
+        if op is None:
+            raise DCParseError(
+                f"unknown operator {op_name!r}; expected one of {sorted(_OP_NAMES)}")
+        operands = _split_operands(body)
+        if len(operands) != 2:
+            raise DCParseError(f"predicate {term!r} must have two operands")
+        left = _parse_operand(operands[0])
+        right = _parse_operand(operands[1])
+        if not isinstance(left, TupleRef):
+            if isinstance(right, TupleRef):  # allow constant-first by flipping
+                flipped = {Operator.LT: Operator.GT, Operator.GT: Operator.LT,
+                           Operator.LTE: Operator.GTE, Operator.GTE: Operator.LTE}
+                left, right = right, left
+                op = flipped.get(op, op)
+            else:
+                raise DCParseError(
+                    f"predicate {term!r} must reference at least one tuple attribute")
+        predicates.append(Predicate(left, op, right, sim_threshold=sim_threshold))
+    return DenialConstraint(predicates, name=name)
+
+
+def parse_dcs(lines, sim_threshold: float = 0.8) -> list[DenialConstraint]:
+    """Parse several constraints; blank lines and ``#`` comments are skipped."""
+    out: list[DenialConstraint] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        out.append(parse_dc(line, name=f"dc{len(out)}", sim_threshold=sim_threshold))
+    return out
+
+
+def format_dc(dc: DenialConstraint) -> str:
+    """Render a constraint in the textual format accepted by :func:`parse_dc`."""
+    terms = ["t1"] if dc.is_single_tuple else ["t1", "t2"]
+    for p in dc.predicates:
+        op_name = _NAME_FOR_OP[p.op]
+        rhs = str(p.right) if isinstance(p.right, Const) else (
+            f"t{p.right.tuple_index}.{p.right.attribute}")
+        terms.append(f"{op_name}(t{p.left.tuple_index}.{p.left.attribute},{rhs})")
+    return "&".join(terms)

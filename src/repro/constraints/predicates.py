@@ -1,0 +1,172 @@
+"""Predicates of denial constraints.
+
+A predicate ``P_k`` has the form ``(t_i[A_n] o t_j[A_m])`` or
+``(t_i[A_n] o α)`` where ``o ∈ B = {=, ≠, <, >, ≤, ≥, ≈}`` and ``α`` is a
+constant (Section 3.1).  Ordering comparisons try numeric interpretation
+first and fall back to lexicographic order, matching how the reference
+implementation treats mixed string/number columns.  Any predicate touching
+a NULL evaluates to False (it cannot contribute to a violation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constraints.similarity import similar
+
+
+class Operator(enum.Enum):
+    """Comparison operators of the denial-constraint language."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LTE = "<="
+    GTE = ">="
+    SIM = "~"    # the paper's ≈
+    NSIM = "!~"  # negated similarity: needed to express metric FDs [28]
+
+    @property
+    def negated(self) -> "Operator":
+        """The complementary operator (used to reason about repairs)."""
+        return _NEGATIONS[self]
+
+
+_NEGATIONS = {
+    Operator.EQ: Operator.NEQ,
+    Operator.NEQ: Operator.EQ,
+    Operator.LT: Operator.GTE,
+    Operator.GTE: Operator.LT,
+    Operator.GT: Operator.LTE,
+    Operator.LTE: Operator.GT,
+    Operator.SIM: Operator.NSIM,
+    Operator.NSIM: Operator.SIM,
+}
+
+
+@dataclass(frozen=True)
+class TupleRef:
+    """Operand referring to attribute ``attribute`` of tuple ``t1`` or ``t2``."""
+
+    tuple_index: int  # 1 or 2
+    attribute: str
+
+    def __post_init__(self) -> None:
+        if self.tuple_index not in (1, 2):
+            raise ValueError("tuple_index must be 1 or 2")
+
+    def __str__(self) -> str:
+        return f"t{self.tuple_index}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """Constant operand ``α``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+Operand = TupleRef | Const
+
+
+def _coerce(a: str, b: str) -> tuple:
+    """Try to compare numerically; otherwise lexicographically."""
+    try:
+        return float(a), float(b)
+    except (TypeError, ValueError):
+        return a, b
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single comparison inside a denial constraint."""
+
+    left: TupleRef
+    op: Operator
+    right: Operand
+    sim_threshold: float = 0.8
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_binary(self) -> bool:
+        """True when the predicate compares cells of two *different* tuples."""
+        return (isinstance(self.right, TupleRef)
+                and self.right.tuple_index != self.left.tuple_index)
+
+    @property
+    def attributes(self) -> set[str]:
+        """All attributes mentioned by the predicate."""
+        attrs = {self.left.attribute}
+        if isinstance(self.right, TupleRef):
+            attrs.add(self.right.attribute)
+        return attrs
+
+    def attributes_of(self, tuple_index: int) -> set[str]:
+        """Attributes this predicate reads from the given tuple position."""
+        attrs: set[str] = set()
+        if self.left.tuple_index == tuple_index:
+            attrs.add(self.left.attribute)
+        if isinstance(self.right, TupleRef) and self.right.tuple_index == tuple_index:
+            attrs.add(self.right.attribute)
+        return attrs
+
+    @property
+    def is_equijoin(self) -> bool:
+        """True for ``t1.A = t2.B`` — usable as a hash-join key."""
+        return self.op is Operator.EQ and self.is_binary
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, values1: dict[str, str | None],
+                 values2: dict[str, str | None] | None = None) -> bool:
+        """Evaluate against tuple-1 (and tuple-2) attribute→value mappings.
+
+        Returns False whenever an operand is NULL: a missing value can
+        never witness a constraint violation.
+        """
+        lhs = self._resolve(self.left, values1, values2)
+        rhs = (self.right.value if isinstance(self.right, Const)
+               else self._resolve(self.right, values1, values2))
+        if lhs is None or rhs is None:
+            return False
+        return self.compare(lhs, rhs)
+
+    def compare(self, lhs: str, rhs: str) -> bool:
+        """Apply the operator to two concrete (non-NULL) values."""
+        op = self.op
+        if op is Operator.EQ:
+            return lhs == rhs
+        if op is Operator.NEQ:
+            return lhs != rhs
+        if op is Operator.SIM:
+            return similar(lhs, rhs, self.sim_threshold)
+        if op is Operator.NSIM:
+            return not similar(lhs, rhs, self.sim_threshold)
+        a, b = _coerce(lhs, rhs)
+        if op is Operator.LT:
+            return a < b
+        if op is Operator.GT:
+            return a > b
+        if op is Operator.LTE:
+            return a <= b
+        return a >= b  # GTE
+
+    @staticmethod
+    def _resolve(ref: TupleRef, values1: dict[str, str | None],
+                 values2: dict[str, str | None] | None) -> str | None:
+        if ref.tuple_index == 1:
+            return values1.get(ref.attribute)
+        if values2 is None:
+            raise ValueError(f"predicate references t2 but no second tuple given: {ref}")
+        return values2.get(ref.attribute)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"

@@ -1,0 +1,91 @@
+"""String similarity used by the ``≈`` operator and matching dependencies.
+
+The paper's operator set B includes ``≈`` "denoting similarity"
+(Section 3.1); matching dependencies use it to align dirty values with
+dictionary entries (Example 3 uses ``c1 ≈ c2``).  We provide Levenshtein
+edit distance (banded, early-exit), a length-normalised similarity in
+[0, 1], and token Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Edit distance between two strings.
+
+    Parameters
+    ----------
+    a, b:
+        Input strings.
+    max_distance:
+        Optional early-exit bound: once every entry of a DP row exceeds the
+        bound the function returns ``max_distance + 1`` immediately.  Useful
+        when callers only care whether the distance is within a threshold.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):  # keep the inner loop over the shorter string
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            val = min(previous[i] + 1,        # deletion
+                      current[i - 1] + 1,     # insertion
+                      previous[i - 1] + cost)  # substitution
+            current.append(val)
+            if val < row_min:
+                row_min = val
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def normalized_similarity(a: str, b: str) -> float:
+    """``1 - levenshtein(a, b) / max(len(a), len(b))`` in [0, 1].
+
+    Two empty strings are defined to have similarity 1.0.
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of whitespace token sets, in [0, 1]."""
+    ta, tb = set(a.split()), set(b.split())
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+def similar(a: str | None, b: str | None, threshold: float = 0.8) -> bool:
+    """The ``≈`` operator: edit similarity at or above ``threshold``.
+
+    NULL is similar to nothing (including NULL) — predicates never fire
+    on missing data.
+    """
+    if a is None or b is None:
+        return False
+    if a == b:
+        return True
+    # Cheap bound: the normalised similarity cannot reach the threshold if
+    # the length difference alone exceeds the allowed edit budget.
+    longest = max(len(a), len(b))
+    budget = int(longest * (1.0 - threshold))
+    if abs(len(a) - len(b)) > budget:
+        return False
+    return levenshtein(a, b, max_distance=budget) <= budget

@@ -1,0 +1,51 @@
+"""HoloClean core: the paper's primary contribution.
+
+Compilation (Section 4), scaling optimizations (Section 5 — Algorithm 2
+domain pruning, Algorithm 3 tuple partitioning, and the denial-constraint
+relaxation), and the end-to-end repair pipeline (Figure 2).
+"""
+
+from repro.core.config import HoloCleanConfig, VARIANTS
+from repro.core.domain import DomainPruner
+from repro.core.partition import PairEnumerator, TupleGroup, tuple_groups
+from repro.core.featurize import (
+    FeaturizationContext,
+    Featurizer,
+    MinimalityFeaturizer,
+    FrequencyFeaturizer,
+    CooccurFeaturizer,
+    SourceFeaturizer,
+    ExternalMatchFeaturizer,
+    ConstraintFeaturizer,
+    default_featurizers,
+)
+from repro.core.compiler import CompiledModel, ModelCompiler
+from repro.core.pipeline import HoloClean
+from repro.core.repair import CellInference, RepairResult
+from repro.core.session import RepairSession
+from repro.core import rules
+
+__all__ = [
+    "HoloCleanConfig",
+    "VARIANTS",
+    "DomainPruner",
+    "PairEnumerator",
+    "TupleGroup",
+    "tuple_groups",
+    "FeaturizationContext",
+    "Featurizer",
+    "MinimalityFeaturizer",
+    "FrequencyFeaturizer",
+    "CooccurFeaturizer",
+    "SourceFeaturizer",
+    "ExternalMatchFeaturizer",
+    "ConstraintFeaturizer",
+    "default_featurizers",
+    "CompiledModel",
+    "ModelCompiler",
+    "HoloClean",
+    "CellInference",
+    "RepairResult",
+    "RepairSession",
+    "rules",
+]

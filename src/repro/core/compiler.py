@@ -1,0 +1,333 @@
+"""The compilation module: signals → grounded probabilistic model.
+
+Mirrors Figure 2's "Compilation Module": automatic featurization,
+statistical analysis and candidate-repair generation (Algorithm 2), and
+compilation to the probabilistic program whose grounding is the factor
+graph (Sections 4 and 5).  The output bundles everything the repair
+module needs: the variable block, the unary feature matrix, grounded
+constraint factors (when denial constraints are kept as factors), and
+the evidence labels for weight learning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.matching import MatchingDependency
+from repro.core.config import HoloCleanConfig
+from repro.core.domain import DomainPruner
+from repro.core.featurize import FeaturizationContext, default_featurizers
+from repro.core.partition import PairEnumerator
+from repro.core.relations import CompiledRelations
+from repro.core import rules as ddlog
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.stats import Statistics
+from repro.detect.base import DetectionResult
+from repro.external.dictionary import ExternalDictionary
+from repro.external.matcher import match_dictionary
+from repro.inference.factor_graph import ConstraintFactor, FactorGraph
+from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
+from repro.inference.variables import VariableBlock
+
+
+@dataclass
+class CompiledModel:
+    """A grounded model ready for learning and inference."""
+
+    graph: FactorGraph
+    relations: CompiledRelations
+    evidence_ids: list[int]
+    evidence_labels: list[int]
+    query_ids: list[int]
+    ddlog_program: list[str] = field(default_factory=list)
+    skipped_factors: int = 0
+
+    def size_report(self) -> dict[str, int]:
+        report = self.graph.size_report()
+        report["skipped_factors"] = self.skipped_factors
+        return report
+
+
+class ModelCompiler:
+    """Compiles one dataset + detection result into a :class:`CompiledModel`."""
+
+    def __init__(self, dataset: Dataset, constraints: list[DenialConstraint],
+                 config: HoloCleanConfig, detection: DetectionResult,
+                 dictionaries: list[ExternalDictionary] = (),
+                 matching_dependencies: list[MatchingDependency] = (),
+                 stats: Statistics | None = None):
+        self.dataset = dataset
+        self.constraints = list(constraints)
+        self.config = config
+        self.detection = detection
+        self.dictionaries = list(dictionaries)
+        self.matching_dependencies = list(matching_dependencies)
+        self.stats = stats or Statistics(dataset)
+
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledModel:
+        config = self.config
+        repairable = set(self.dataset.schema.data_attributes)
+        query_cells = sorted(
+            c for c in self.detection.noisy_cells if c.attribute in repairable)
+
+        pruner = DomainPruner(self.dataset, self.stats, tau=config.tau,
+                              max_domain=config.max_domain,
+                              strategy=config.domain_strategy)
+        query_domains = pruner.domains(query_cells)
+
+        evidence_cells = self._sample_evidence(set(query_domains))
+        evidence_domains = pruner.domains(evidence_cells)
+
+        matched = self._ground_matched()
+        context = FeaturizationContext(self.dataset, self.stats, config,
+                                       matched=matched)
+        featurizers = default_featurizers(context, self.constraints)
+
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        variables = VariableBlock()
+
+        query_ids: list[int] = []
+        weak_candidates: list[tuple[int, int]] = []
+        for cell in sorted(query_domains):
+            domain = query_domains[cell]
+            init = self.dataset.cell_value(cell)
+            init_index = domain.index(init) if init in domain else -1
+            info = variables.add(cell, domain, init_index, is_evidence=False)
+            vid = builder.start_variable(len(domain))
+            assert vid == info.vid
+            self._featurize(builder, featurizers, vid, cell, domain)
+            query_ids.append(vid)
+            weak_label = self._weak_label(context, cell, domain, init_index)
+            if weak_label >= 0 and len(domain) >= 2:
+                weak_candidates.append((vid, weak_label))
+
+        evidence_ids: list[int] = []
+        evidence_labels: list[int] = []
+        for cell in sorted(evidence_domains):
+            domain = self._with_negatives(cell, evidence_domains[cell])
+            init = self.dataset.cell_value(cell)
+            if init is None or init not in domain or len(domain) < 2:
+                continue  # no training signal in a singleton/unlabelled cell
+            info = variables.add(cell, domain, domain.index(init),
+                                 is_evidence=True)
+            vid = builder.start_variable(len(domain))
+            assert vid == info.vid
+            self._featurize(builder, featurizers, vid, cell, domain)
+            evidence_ids.append(vid)
+            evidence_labels.append(info.observed_index)
+
+        if config.use_minimality and ("minimality",) in space:
+            space.set_fixed(("minimality",), config.minimality_weight)
+        matrix = builder.build()
+        graph = FactorGraph(variables, matrix, space)
+
+        skipped = 0
+        if config.use_dc_factors:
+            skipped = self._ground_factors(graph, query_domains)
+
+        relations = CompiledRelations(self.dataset,
+                                      {**query_domains, **evidence_domains},
+                                      matched=matched)
+        program = ddlog.compile_program(
+            self.constraints,
+            use_dc_feats=config.use_dc_feats,
+            use_dc_factors=config.use_dc_factors,
+            use_external=bool(matched),
+            use_minimality=config.use_minimality,
+            dc_factor_weight=config.dc_factor_weight)
+
+        # Weak supervision (auto mode): when clean evidence is too scarce
+        # to train on — Flights flags every cell noisy — fall back to
+        # training on all cells with the observed value as a weak label.
+        use_weak = config.weak_label_training
+        if use_weak is None:
+            use_weak = len(evidence_ids) < max(50, len(query_ids) // 20)
+        if use_weak:
+            evidence_ids = evidence_ids + [vid for vid, _ in weak_candidates]
+            evidence_labels = (evidence_labels
+                               + [label for _, label in weak_candidates])
+
+        return CompiledModel(graph=graph, relations=relations,
+                             evidence_ids=evidence_ids,
+                             evidence_labels=evidence_labels,
+                             query_ids=query_ids, ddlog_program=program,
+                             skipped_factors=skipped)
+
+    # ------------------------------------------------------------------
+    def _featurize(self, builder: FeatureMatrixBuilder, featurizers,
+                   vid: int, cell: Cell, domain: list[str]) -> None:
+        for featurizer in featurizers:
+            per_candidate = featurizer.features(cell, domain)
+            for cand_idx, entries in enumerate(per_candidate):
+                for key, value in entries:
+                    if value != 0.0:
+                        builder.add(vid, cand_idx, key, value)
+
+    def _weak_label(self, context: FeaturizationContext, cell: Cell,
+                    domain: list[str], init_index: int) -> int:
+        """Weak training label for a noisy cell (candidate index, or -1).
+
+        Default: the observed value (assumption (i) of Section 5.2 —
+        errors are rarer than correct cells).  With source provenance and
+        an entity key configured (Flights), the label is bootstrapped
+        from the *plurality vote* of the cell's entity group instead —
+        the EM seed of truth-finding systems like SLiMFast [35]; training
+        against per-tuple observations would only teach the model to echo
+        each source's own report.
+        """
+        group = context.entity_group_of(cell.tid)
+        if context.source_attribute is not None and len(group) >= 3:
+            idx = self.dataset.schema.index_of(cell.attribute)
+            votes: dict[str, int] = {}
+            for tid in group:
+                v = self.dataset.row_ref(tid)[idx]
+                if v is not None:
+                    votes[v] = votes.get(v, 0) + 1
+            if votes:
+                mode = max(sorted(votes), key=lambda v: votes[v])
+                if mode in domain:
+                    return domain.index(mode)
+        return init_index
+
+    def _with_negatives(self, cell: Cell, domain: list[str]) -> list[str]:
+        """Extend an evidence domain with frequent negative candidates.
+
+        Evidence cells in homogeneous attributes often prune down to a
+        singleton domain and then carry no learning signal; the most
+        frequent attribute values act as contrastive negatives.
+        """
+        wanted = self.config.evidence_negatives
+        if wanted <= 0:
+            return domain
+        extended = list(domain)
+        for value, _count in self.stats.most_common(cell.attribute,
+                                                    wanted + len(domain)):
+            if len(extended) >= len(domain) + wanted:
+                break
+            if value not in extended:
+                extended.append(value)
+        return extended[: self.config.max_domain]
+
+    def _sample_evidence(self, query_cells: set[Cell]) -> list[Cell]:
+        """Clean cells used as ERM evidence, subsampled for scale."""
+        repairable = self.dataset.schema.data_attributes
+        clean = [
+            Cell(tid, a)
+            for tid in self.dataset.tuple_ids
+            for a in repairable
+            if Cell(tid, a) not in self.detection.noisy_cells
+            and Cell(tid, a) not in query_cells
+        ]
+        cap = self.config.max_training_cells
+        if cap is not None and len(clean) > cap:
+            rng = np.random.default_rng(self.config.seed)
+            picked = rng.choice(len(clean), size=cap, replace=False)
+            clean = [clean[i] for i in sorted(picked)]
+        return clean
+
+    def _ground_matched(self):
+        if not (self.config.use_external and self.dictionaries
+                and self.matching_dependencies):
+            return []
+        return [
+            match_dictionary(self.dataset, dictionary, self.matching_dependencies)
+            for dictionary in self.dictionaries
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 grounding: denial constraints as factors
+    # ------------------------------------------------------------------
+    def _ground_factors(self, graph: FactorGraph,
+                        query_domains: dict[Cell, list[str]]) -> int:
+        config = self.config
+        enumerator = PairEnumerator(self.dataset, query_domains,
+                                    max_pairs=config.max_factor_pairs)
+        hypergraph = self.detection.hypergraph
+        skipped = 0
+        for dc in self.constraints:
+            if dc.is_single_tuple:
+                skipped += self._ground_single_tuple_factors(graph, dc)
+                continue
+            for t1, t2 in enumerator.pairs_for(dc, config.use_partitioning,
+                                               hypergraph):
+                if not self._ground_pair_factor(graph, dc, t1, t2):
+                    skipped += 1
+        return skipped
+
+    def _ground_single_tuple_factors(self, graph: FactorGraph,
+                                     dc: DenialConstraint) -> int:
+        skipped = 0
+        attrs = sorted(dc.attributes_of(1))
+        touched_tids = {
+            v.cell.tid for v in graph.variables
+            if not v.is_evidence and v.cell.attribute in attrs
+        }
+        for tid in touched_tids:
+            if not self._ground_factor_for_cells(
+                    graph, dc, [(1, tid)], attrs_by_position={1: attrs}):
+                skipped += 1
+        return skipped
+
+    def _ground_pair_factor(self, graph: FactorGraph, dc: DenialConstraint,
+                            t1: int, t2: int) -> bool:
+        attrs_by_position = {1: sorted(dc.attributes_of(1)),
+                             2: sorted(dc.attributes_of(2))}
+        return self._ground_factor_for_cells(
+            graph, dc, [(1, t1), (2, t2)], attrs_by_position)
+
+    def _ground_factor_for_cells(self, graph: FactorGraph,
+                                 dc: DenialConstraint,
+                                 positions: list[tuple[int, int]],
+                                 attrs_by_position: dict[int, list[str]]) -> bool:
+        """Ground one factor; returns False when skipped (cap / constant).
+
+        Evidence cells and cells without variables are folded into the
+        table as fixed context, so the resulting factor spans only query
+        variables.
+        """
+        variables = graph.variables
+        axis_vars: list = []
+        base_values: dict[int, dict[str, str | None]] = {}
+        cell_axes: list[tuple[int, str, int]] = []  # (position, attr, axis)
+        for position, tid in positions:
+            base_values[position] = self.dataset.tuple_dict(tid)
+            for attr in attrs_by_position.get(position, ()):
+                info = variables.by_cell(Cell(tid, attr))
+                if info is not None and not info.is_evidence:
+                    cell_axes.append((position, attr, len(axis_vars)))
+                    axis_vars.append(info)
+
+        if not axis_vars:
+            return False
+        shape = tuple(v.domain_size for v in axis_vars)
+        table_cells = int(np.prod(shape))
+        if table_cells > self.config.max_factor_table:
+            return False
+
+        table = np.ones(shape, dtype=np.int8)
+        two_tuple = len(positions) == 2
+        for combo in itertools.product(*(range(s) for s in shape)):
+            values = {p: dict(base_values[p]) for p in base_values}
+            for position, attr, axis in cell_axes:
+                var = axis_vars[axis]
+                values[position][attr] = var.domain[combo[axis]]
+            if two_tuple:
+                violated = (dc.violates(values[1], values[2])
+                            or dc.violates(values[2], values[1]))
+            else:
+                violated = dc.violates(values[1])
+            if violated:
+                table[combo] = -1
+
+        if np.all(table == 1) or np.all(table == -1):
+            return False  # constant factor: no effect on the distribution
+        graph.add_factor(ConstraintFactor(
+            var_ids=tuple(v.vid for v in axis_vars), table=table,
+            weight=self.config.dc_factor_weight, constraint_name=dc.name))
+        return True

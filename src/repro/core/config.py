@@ -1,0 +1,170 @@
+"""Configuration of the HoloClean pipeline.
+
+Every knob discussed in the paper is explicit here: the Algorithm 2
+pruning threshold τ, the signal toggles that define the model variants of
+Section 6.3.1 (Figure 5), the constant denial-constraint factor weight of
+Algorithm 1, and the learning/sampling budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: The model variants evaluated in Figure 5 of the paper.
+VARIANTS = (
+    "dc-factors",
+    "dc-factors+partitioning",
+    "dc-feats",
+    "dc-feats+dc-factors",
+    "dc-feats+dc-factors+partitioning",
+)
+
+
+@dataclass
+class HoloCleanConfig:
+    """All tuning parameters of HoloClean.
+
+    Parameters mirror the paper:
+
+    * ``tau`` — the co-occurrence threshold of Algorithm 2, swept over
+      {0.3, 0.5, 0.7, 0.9} in Figures 3-5.
+    * ``use_dc_feats`` — relax denial constraints to features over
+      independent random variables (Section 5.2); the default model,
+      used for all Table 3 numbers.
+    * ``use_dc_factors`` — keep denial constraints as factors with the
+      constant weight ``dc_factor_weight`` (Algorithm 1).
+    * ``use_partitioning`` — ground DC factors only inside the tuple
+      groups of Algorithm 3.
+    """
+
+    # --- Algorithm 2: domain pruning -------------------------------------
+    tau: float = 0.5
+    max_domain: int = 24
+
+    #: ``"cooccurrence"`` = Algorithm 2; ``"active"`` = the full active
+    #: domain (the pre-HoloClean candidate space, for ablations).
+    domain_strategy: str = "cooccurrence"
+
+    #: Strength of the minimality prior — "a positive constant indicating
+    #: the strength of this prior" (Section 4.2).  Pinned, not learned:
+    #: learning it would overfit (every evidence label trivially equals the
+    #: initial value, so a learnable prior diverges and vetoes all repairs).
+    minimality_weight: float = 1.0
+
+    # --- signal toggles ----------------------------------------------------
+    use_cooccur: bool = True
+    use_frequency: bool = True
+    use_minimality: bool = True
+    use_source: bool = True
+    use_external: bool = True
+    use_dc_feats: bool = True
+    use_dc_factors: bool = False
+    use_partitioning: bool = False
+
+    #: ``"pair"`` ties one weight per attribute pair with the empirical
+    #: conditional as feature value; ``"value"`` is the paper-literal
+    #: ``w(d, f)`` tying (one weight per candidate/feature combination).
+    cooccur_tying: str = "pair"
+
+    #: Additive smoothing for the co-occurrence conditionals used as
+    #: feature values: ``Pr[d | v'] = #(d, v') / (#v' + smoothing)``.
+    #: Without it a value that appears once makes its own (possibly
+    #: erroneous) tuple context "predict" it with probability 1.0.
+    cooccur_smoothing: float = 1.0
+
+    #: Attributes identifying one real-world entity across tuples, used by
+    #: the source-reliability featurizer (e.g. ``["Flight"]``).
+    source_entity_attributes: tuple[str, ...] = ()
+
+    # --- DC factor grounding (Algorithm 1) ----------------------------------
+    dc_factor_weight: float = 2.0
+    max_factor_table: int = 4096
+    max_factor_pairs: int = 200_000
+
+    # --- DC feature extraction (Section 5.2) --------------------------------
+    dc_feature_cap: float = 10.0
+    max_dc_feature_partners: int = 100
+
+    #: Evidence (training) cells additionally receive this many frequent
+    #: attribute values as negative candidates.  Without negatives, cells
+    #: in homogeneous attributes have singleton domains and contribute no
+    #: gradient, leaving their features untrained.
+    evidence_negatives: int = 2
+
+    #: Train on noisy cells too, weakly labelled with their observed
+    #: value.  Backed by the paper's relaxation assumption (i) — erroneous
+    #: cells are fewer than correct cells — and required on datasets like
+    #: Flights where *every* cell participates in some violation, leaving
+    #: no clean evidence at all.  ``None`` (default) enables weak labels
+    #: automatically only when clean evidence is scarce.
+    weak_label_training: bool | None = None
+
+    # --- learning -----------------------------------------------------------
+    epochs: int = 60
+    learning_rate: float = 0.1
+    l2: float = 1e-4
+    max_training_cells: int | None = 20_000
+
+    # --- Gibbs sampling -------------------------------------------------------
+    gibbs_burn_in: int = 10
+    gibbs_sweeps: int = 40
+
+    # --- misc ------------------------------------------------------------------
+    sim_threshold: float = 0.8
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tau <= 1.0:
+            raise ValueError(f"tau must be in [0, 1], got {self.tau}")
+        if self.max_domain < 1:
+            raise ValueError("max_domain must be at least 1")
+        if self.cooccur_tying not in ("pair", "value"):
+            raise ValueError(
+                f"cooccur_tying must be 'pair' or 'value', got "
+                f"{self.cooccur_tying!r}")
+        if not (self.use_dc_feats or self.use_dc_factors or self.use_cooccur
+                or self.use_minimality or self.use_frequency):
+            raise ValueError("at least one repair signal must be enabled")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def variant(cls, name: str, **overrides) -> "HoloCleanConfig":
+        """Build the named Figure 5 variant.
+
+        ``dc-feats`` is the paper's default configuration (Section 6.2:
+        "denial constraints in HoloClean are relaxed to features … no
+        partitioning is used").
+        """
+        flags = {
+            "dc-factors": dict(use_dc_feats=False, use_dc_factors=True,
+                               use_partitioning=False),
+            "dc-factors+partitioning": dict(use_dc_feats=False,
+                                            use_dc_factors=True,
+                                            use_partitioning=True),
+            "dc-feats": dict(use_dc_feats=True, use_dc_factors=False,
+                             use_partitioning=False),
+            "dc-feats+dc-factors": dict(use_dc_feats=True, use_dc_factors=True,
+                                        use_partitioning=False),
+            "dc-feats+dc-factors+partitioning": dict(
+                use_dc_feats=True, use_dc_factors=True, use_partitioning=True),
+        }
+        if name not in flags:
+            raise ValueError(f"unknown variant {name!r}; pick one of {VARIANTS}")
+        merged = {**flags[name], **overrides}
+        return cls(**merged)
+
+    def with_(self, **overrides) -> "HoloCleanConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def variant_name(self) -> str:
+        """The Figure 5 name of the current flag combination."""
+        parts = []
+        if self.use_dc_feats:
+            parts.append("dc-feats")
+        if self.use_dc_factors:
+            parts.append("dc-factors")
+        if self.use_partitioning:
+            parts.append("partitioning")
+        return "+".join(parts) if parts else "no-dc-signal"

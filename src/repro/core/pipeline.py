@@ -1,0 +1,168 @@
+"""The HoloClean facade: detect → compile → learn → infer → repair.
+
+Reproduces the three-module workflow of Figure 2:
+
+1. **Error detection** — denial-constraint violations (plus any extra
+   detectors supplied by the caller) split the dataset into noisy and
+   clean cells.
+2. **Compilation** — Algorithm 2 prunes candidate domains, featurizers
+   ground the unary rules, and (in factor variants) Algorithm 1 grounds
+   denial constraints into factors, optionally restricted by Algorithm 3's
+   tuple partitioning.
+3. **Repair** — weights are learned by ERM over the evidence cells;
+   marginals come from the exact softmax (independent-variable relaxation)
+   or Gibbs sampling (factor variants); each noisy cell is assigned its
+   MAP value.
+
+Timings for the three phases are recorded exactly as the paper reports
+them (violation detection / compilation / learning+inference).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.matching import MatchingDependency
+from repro.core.compiler import CompiledModel, ModelCompiler
+from repro.core.config import HoloCleanConfig
+from repro.core.repair import CellInference, RepairResult
+from repro.dataset.dataset import Dataset
+from repro.detect.base import DetectionResult, ErrorDetector
+from repro.detect.violations import ViolationDetector
+from repro.external.dictionary import ExternalDictionary
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.softmax import SoftmaxTrainer
+
+
+class HoloClean:
+    """End-to-end holistic data repairing.
+
+    Example
+    -------
+    >>> from repro import HoloClean, HoloCleanConfig, parse_dc
+    >>> hc = HoloClean(HoloCleanConfig(tau=0.5))
+    >>> result = hc.repair(dataset, constraints)        # doctest: +SKIP
+    >>> result.repaired                                  # doctest: +SKIP
+    """
+
+    def __init__(self, config: HoloCleanConfig | None = None):
+        self.config = config or HoloCleanConfig()
+
+    # ------------------------------------------------------------------
+    def repair(self, dataset: Dataset, constraints: list[DenialConstraint],
+               dictionaries: list[ExternalDictionary] = (),
+               matching_dependencies: list[MatchingDependency] = (),
+               extra_detectors: list[ErrorDetector] = (),
+               detection: DetectionResult | None = None) -> RepairResult:
+        """Run the full pipeline and return the repair result.
+
+        Parameters
+        ----------
+        dataset:
+            The dirty relation; it is not mutated (repairs land in a copy).
+        constraints:
+            Denial constraints Σ.
+        dictionaries, matching_dependencies:
+            Optional external information (Section 4.1's ``ExtDict``).
+        extra_detectors:
+            Additional error detectors whose findings are unioned with the
+            violation detector's.
+        detection:
+            A precomputed detection result (skips the detect phase); used
+            when callers share detection across configurations.
+        """
+        timings: dict[str, float] = {}
+
+        started = time.perf_counter()
+        if detection is None:
+            detection = self._detect(dataset, constraints, extra_detectors)
+        timings["detect"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        compiler = ModelCompiler(dataset, constraints, self.config, detection,
+                                 dictionaries=list(dictionaries),
+                                 matching_dependencies=list(matching_dependencies))
+        model = compiler.compile()
+        timings["compile"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        weights, losses = self._learn(model)
+        marginals = self._infer(model, weights)
+        result = self._apply_repairs(dataset, model, marginals)
+        timings["repair"] = time.perf_counter() - started
+
+        result.timings = timings
+        result.size_report = model.size_report()
+        result.training_losses = losses
+        result.config = self.config
+        return result
+
+    # ------------------------------------------------------------------
+    def _detect(self, dataset: Dataset, constraints: list[DenialConstraint],
+                extra_detectors: list[ErrorDetector]) -> DetectionResult:
+        detection = ViolationDetector(constraints).detect(dataset)
+        for detector in extra_detectors:
+            detection.merge(detector.detect(dataset))
+        return detection
+
+    def _learn(self, model: CompiledModel):
+        """ERM over the evidence cells, with the minimality prior held out.
+
+        The minimality prior is an inference-time prior over repair
+        decisions ("a positive constant", Section 4.2), not a learnable
+        part of the likelihood: since every training label *is* the
+        initial value, letting the prior participate in the training-time
+        scores makes it absorb the labels and starves the genuine
+        signals (co-occurrence, source reliability) of gradient.  We
+        therefore pin it to 0 during the fit and restore the configured
+        constant for inference.
+        """
+        config = self.config
+        space = model.graph.space
+        fixed = space.fixed_weights
+        minimality_idx = space.get(("minimality",))
+        if minimality_idx is not None:
+            fixed[minimality_idx] = 0.0
+        trainer = SoftmaxTrainer(
+            model.graph.matrix, epochs=config.epochs,
+            learning_rate=config.learning_rate, l2=config.l2,
+            max_training_vars=config.max_training_cells, seed=config.seed,
+            fixed_weights=fixed)
+        outcome = trainer.train(model.evidence_ids, model.evidence_labels)
+        if minimality_idx is not None:
+            outcome.weights[minimality_idx] = config.minimality_weight
+        return outcome.weights, outcome.losses
+
+    def _infer(self, model: CompiledModel,
+               weights: np.ndarray) -> dict[int, np.ndarray]:
+        if model.graph.factors:
+            sampler = GibbsSampler(model.graph, weights, seed=self.config.seed)
+            outcome = sampler.run(burn_in=self.config.gibbs_burn_in,
+                                  sweeps=self.config.gibbs_sweeps)
+            return outcome.marginals
+        trainer = SoftmaxTrainer(model.graph.matrix)
+        return trainer.marginals(weights, model.query_ids)
+
+    def _apply_repairs(self, dataset: Dataset, model: CompiledModel,
+                       marginals: dict[int, np.ndarray]) -> RepairResult:
+        repaired = dataset.copy(name=f"{dataset.name}-repaired")
+        inferences: dict = {}
+        for vid in model.query_ids:
+            info = model.graph.variables[vid]
+            marginal = marginals[vid]
+            best = int(np.argmax(marginal))
+            chosen = info.domain[best]
+            inference = CellInference(
+                cell=info.cell,
+                init_value=dataset.cell_value(info.cell),
+                chosen_value=chosen,
+                confidence=float(marginal[best]),
+                domain=list(info.domain),
+                marginal=np.asarray(marginal, dtype=np.float64))
+            inferences[info.cell] = inference
+            if inference.is_repair:
+                repaired.set_value(info.cell.tid, info.cell.attribute, chosen)
+        return RepairResult(repaired=repaired, inferences=inferences)

@@ -1,0 +1,53 @@
+"""The DDlog relations of Section 4.1, as concrete builders.
+
+HoloClean's compiler first generates the relations ``Tuple``,
+``InitValue``, ``Domain``, ``HasFeature``, and (optionally) ``ExtDict`` /
+``Matched``; inference rules are then grounded against them.  Our grounding
+works directly on these structures; the builders below expose them for
+inspection and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.domain import DomainPruner
+from repro.dataset.dataset import Cell, Dataset
+from repro.external.matcher import MatchedRelation
+
+
+def tuple_relation(dataset: Dataset) -> range:
+    """``Tuple(t)``: all tuple identifiers."""
+    return dataset.tuple_ids
+
+
+def init_value_relation(dataset: Dataset,
+                        attributes: list[str] | None = None) -> dict[Cell, str | None]:
+    """``InitValue(t, a, v)``: every cell's initial observed value."""
+    attrs = attributes or dataset.schema.names
+    return {
+        Cell(tid, a): dataset.value(tid, a)
+        for tid in dataset.tuple_ids
+        for a in attrs
+    }
+
+
+def domain_relation(pruner: DomainPruner, cells) -> dict[Cell, list[str]]:
+    """``Domain(t, a, d)``: pruned candidate values per cell (Algorithm 2)."""
+    return pruner.domains(cells)
+
+
+@dataclass
+class CompiledRelations:
+    """The materialised relations behind one compiled model."""
+
+    dataset: Dataset
+    domain: dict[Cell, list[str]]
+    matched: list[MatchedRelation] = field(default_factory=list)
+
+    @property
+    def num_random_variables(self) -> int:
+        return len(self.domain)
+
+    def init_value(self, cell: Cell) -> str | None:
+        return self.dataset.cell_value(cell)

@@ -1,0 +1,75 @@
+"""Repair results: MAP assignments, marginals, and rigorous confidences.
+
+Section 2.2: "each repair proposed by HoloClean is associated with a
+marginal probability that carries rigorous semantics … if the proposed
+repair has a probability of 0.6 it means that HoloClean is 60% confident
+about this repair."  :class:`RepairResult` keeps the full marginal of
+every inferred cell so the calibration analysis of Figure 6 (error rate
+per probability bucket) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import HoloCleanConfig
+from repro.dataset.dataset import Cell, Dataset
+
+
+@dataclass
+class CellInference:
+    """Inference outcome for one noisy cell."""
+
+    cell: Cell
+    init_value: str | None
+    chosen_value: str
+    confidence: float
+    domain: list[str]
+    marginal: np.ndarray
+
+    @property
+    def is_repair(self) -> bool:
+        """True when the MAP value differs from the observed one."""
+        return self.chosen_value != self.init_value
+
+    def probability_of(self, value: str) -> float:
+        try:
+            return float(self.marginal[self.domain.index(value)])
+        except ValueError:
+            return 0.0
+
+
+@dataclass
+class RepairResult:
+    """Everything produced by one HoloClean run."""
+
+    repaired: Dataset
+    inferences: dict[Cell, CellInference]
+    timings: dict[str, float] = field(default_factory=dict)
+    size_report: dict[str, int] = field(default_factory=dict)
+    training_losses: list[float] = field(default_factory=list)
+    config: HoloCleanConfig | None = None
+
+    @property
+    def repairs(self) -> dict[Cell, CellInference]:
+        """Cells whose proposed value differs from the observed value."""
+        return {c: inf for c, inf in self.inferences.items() if inf.is_repair}
+
+    @property
+    def num_repairs(self) -> int:
+        return sum(1 for inf in self.inferences.values() if inf.is_repair)
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(self.timings.values())
+
+    def confidence_of(self, cell: Cell) -> float:
+        return self.inferences[cell].confidence
+
+    def summary(self) -> str:
+        """One-line human summary used by the examples."""
+        t = ", ".join(f"{k}={v:.2f}s" for k, v in self.timings.items())
+        return (f"{self.num_repairs} repairs over "
+                f"{len(self.inferences)} noisy cells ({t})")

@@ -1,0 +1,151 @@
+"""DDlog rendering of HoloClean's compiled program.
+
+HoloClean compiles every signal into DDlog inference rules executed by
+DeepDive (Section 4).  Our engine grounds the equivalent model directly,
+but this module reproduces the *declarative view*: given a configuration
+and constraints it emits the same rules the paper shows, including
+Algorithm 1's factor templates (Example 4) and the Section 5.2 relaxation
+(Example 6).  The strings double as documentation and as a check that the
+compilation logic matches the paper's construction.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+
+_DDLOG_OP = {
+    Operator.EQ: "=",
+    Operator.NEQ: "!=",
+    Operator.LT: "<",
+    Operator.GT: ">",
+    Operator.LTE: "<=",
+    Operator.GTE: ">=",
+    Operator.SIM: "~",
+    Operator.NSIM: "!~",
+}
+
+
+def random_variable_rule() -> str:
+    """The rule introducing one categorical variable per cell (§4.2)."""
+    return "Value?(t, a, d) :- Domain(t, a, d)"
+
+
+def quantitative_statistics_rule() -> str:
+    return "Value?(t, a, d) :- HasFeature(t, a, f) weight = w(d, f)"
+
+
+def external_data_rule() -> str:
+    return "Value?(t, a, d) :- Matched(t, a, d, k) weight = w(k)"
+
+
+def minimality_rule() -> str:
+    return "Value?(t, a, d) :- InitValue(t, a, d) weight = w"
+
+
+def _scope_condition(pred: Predicate, var1: str, var2: str | None) -> str:
+    op = _DDLOG_OP[pred.op]
+    rhs = f'"{pred.right.value}"' if isinstance(pred.right, Const) else var2
+    return f"{var1} {op} {rhs}"
+
+
+def dc_factor_rule(dc: DenialConstraint, weight: float | str = "w") -> str:
+    """Algorithm 1: one factor template per denial constraint (Example 4).
+
+    Each predicate contributes ``Value?`` atoms to the negated head and a
+    scope condition over the candidate variables.
+    """
+    head_atoms: list[str] = []
+    scope: list[str] = []
+    var_names: dict[tuple[int, str], str] = {}
+
+    def var_for(ref: TupleRef) -> str:
+        key = (ref.tuple_index, ref.attribute)
+        if key not in var_names:
+            var_names[key] = f"v{len(var_names) + 1}"
+            head_atoms.append(
+                f"Value?(t{ref.tuple_index}, {ref.attribute}, {var_names[key]})")
+        return var_names[key]
+
+    for pred in dc.predicates:
+        left_var = var_for(pred.left)
+        if isinstance(pred.right, TupleRef):
+            right_var = var_for(pred.right)
+            scope.append(_scope_condition(pred, left_var, right_var))
+        else:
+            scope.append(_scope_condition(pred, left_var, None))
+
+    body = "Tuple(t1)" if dc.is_single_tuple else "Tuple(t1), Tuple(t2)"
+    head = " ^ ".join(head_atoms)
+    return f"!({head}) :- {body}, [{', '.join(scope)}] weight = {weight}"
+
+
+def relaxed_dc_rules(dc: DenialConstraint) -> list[str]:
+    """Section 5.2: decompose a DC rule into per-variable relaxed rules.
+
+    For each ``Value?`` predicate of the Algorithm 1 template, emit a rule
+    whose head keeps only that predicate while all others become
+    ``InitValue`` body atoms (Example 6); the weight becomes learnable.
+    """
+    cell_refs: list[TupleRef] = []
+    seen: set[tuple[int, str]] = set()
+    for pred in dc.predicates:
+        for ref in (pred.left, pred.right):
+            if isinstance(ref, TupleRef) and (ref.tuple_index, ref.attribute) not in seen:
+                seen.add((ref.tuple_index, ref.attribute))
+                cell_refs.append(ref)
+
+    rules: list[str] = []
+    for head_ref in cell_refs:
+        var_names: dict[tuple[int, str], str] = {}
+        body_atoms: list[str] = []
+        scope: list[str] = []
+
+        def var_for(ref: TupleRef) -> str:
+            key = (ref.tuple_index, ref.attribute)
+            if key not in var_names:
+                var_names[key] = f"v{len(var_names) + 1}"
+                relation = ("Value?" if key == (head_ref.tuple_index,
+                                                head_ref.attribute)
+                            else "InitValue")
+                atom = (f"{relation}(t{ref.tuple_index}, {ref.attribute}, "
+                        f"{var_names[key]})")
+                if relation == "InitValue":
+                    body_atoms.append(atom)
+            return var_names[key]
+
+        head_var = var_for(head_ref)
+        head = (f"!Value?(t{head_ref.tuple_index}, {head_ref.attribute}, "
+                f"{head_var})")
+        for pred in dc.predicates:
+            left_var = var_for(pred.left)
+            if isinstance(pred.right, TupleRef):
+                right_var = var_for(pred.right)
+                scope.append(_scope_condition(pred, left_var, right_var))
+            else:
+                scope.append(_scope_condition(pred, left_var, None))
+
+        tuples = "Tuple(t1)" if dc.is_single_tuple else "Tuple(t1), Tuple(t2)"
+        body = ", ".join(body_atoms + [tuples])
+        extra_scope = [] if dc.is_single_tuple else ["t1 != t2"]
+        scope_text = ", ".join(extra_scope + scope)
+        rules.append(f"{head} :- {body}, [{scope_text}] weight = w")
+    return rules
+
+
+def compile_program(constraints: list[DenialConstraint], *,
+                    use_dc_feats: bool = True, use_dc_factors: bool = False,
+                    use_external: bool = False, use_minimality: bool = True,
+                    dc_factor_weight: float = 2.0) -> list[str]:
+    """The full DDlog listing for a configuration (documentation view)."""
+    program = [random_variable_rule(), quantitative_statistics_rule()]
+    if use_external:
+        program.append(external_data_rule())
+    if use_minimality:
+        program.append(minimality_rule())
+    for dc in constraints:
+        if use_dc_factors:
+            program.append(dc_factor_rule(dc, dc_factor_weight))
+        if use_dc_feats:
+            program.extend(relaxed_dc_rules(dc))
+    return program

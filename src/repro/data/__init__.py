@@ -1,0 +1,37 @@
+"""Evaluation datasets: seeded synthetic generators with ground truth.
+
+The paper evaluates on four real datasets (Table 2): Hospital, Flights,
+Food, and Physicians.  Those exact files are not redistributable, so each
+generator reproduces its dataset's *statistical signature* — schema width,
+duplication level, error type (typos / source conflicts / random /
+systematic), error rate, and denial-constraint set — with a known clean
+version retained as exact ground truth.  Row counts scale with the
+``REPRO_SCALE`` environment variable.
+"""
+
+from repro.data.base import GeneratedDataset, scale_factor, scaled
+from repro.data.errors import ErrorInjector
+from repro.data.generators.hospital import generate_hospital
+from repro.data.generators.flights import generate_flights
+from repro.data.generators.food import generate_food
+from repro.data.generators.physicians import generate_physicians
+
+#: Name → generator for the paper's four evaluation datasets.
+GENERATORS = {
+    "hospital": generate_hospital,
+    "flights": generate_flights,
+    "food": generate_food,
+    "physicians": generate_physicians,
+}
+
+__all__ = [
+    "GeneratedDataset",
+    "ErrorInjector",
+    "scale_factor",
+    "scaled",
+    "generate_hospital",
+    "generate_flights",
+    "generate_food",
+    "generate_physicians",
+    "GENERATORS",
+]

@@ -1,0 +1,13 @@
+"""One generator per evaluation dataset (Table 2 of the paper)."""
+
+from repro.data.generators.hospital import generate_hospital
+from repro.data.generators.flights import generate_flights
+from repro.data.generators.food import generate_food
+from repro.data.generators.physicians import generate_physicians
+
+__all__ = [
+    "generate_hospital",
+    "generate_flights",
+    "generate_food",
+    "generate_physicians",
+]

@@ -1,0 +1,81 @@
+"""Deterministic synthetic geography shared by the dataset generators.
+
+A small US-like world: states, cities (each in one state, one county),
+several zip codes per city, and street addresses.  All pools are
+deterministic module-level data so that every generator — and the
+external dictionary built from the same world — agrees on what "clean"
+geography looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_STATE_NAMES = [
+    "AL", "AZ", "CA", "CO", "FL", "GA", "IL", "IN", "MA", "MI",
+    "MN", "MO", "NC", "NJ", "NY", "OH", "PA", "TN", "TX", "WA",
+]
+
+_CITY_STEMS = [
+    "Spring", "River", "Oak", "Maple", "Cedar", "Lake", "Hill", "Fair",
+    "Green", "Stone", "Bright", "Clear", "Silver", "Golden", "North",
+    "South", "East", "West", "Grand", "Pleasant", "Harbor", "Summit",
+    "Union", "Liberty", "Franklin", "Madison", "Clinton", "Georgetown",
+    "Ashland", "Milton", "Dover", "Hudson", "Auburn", "Bristol",
+    "Camden", "Dayton", "Easton", "Fulton", "Granger", "Helena",
+]
+
+_CITY_SUFFIXES = ["field", "ton", "ville", "wood", "port", "burg", "dale", "view"]
+
+_STREETS = [
+    "Main St", "Oak Ave", "Park Rd", "Elm St", "Washington Blvd",
+    "Lake Dr", "Maple Ave", "Cedar Ln", "2nd St", "3rd Ave",
+    "Highland Rd", "Sunset Blvd", "River Rd", "Church St", "Mill Ln",
+]
+
+
+@dataclass(frozen=True)
+class City:
+    """One synthetic city with its state, county, and zip codes."""
+
+    name: str
+    state: str
+    county: str
+    zips: tuple[str, ...]
+
+
+def build_cities(count: int = 48) -> list[City]:
+    """The deterministic city pool (no randomness involved)."""
+    cities: list[City] = []
+    for i in range(count):
+        stem = _CITY_STEMS[i % len(_CITY_STEMS)]
+        suffix = _CITY_SUFFIXES[(i // len(_CITY_STEMS)) % len(_CITY_SUFFIXES)]
+        name = stem + suffix
+        state = _STATE_NAMES[i % len(_STATE_NAMES)]
+        county = f"{stem} County"
+        base = 10000 + i * 37
+        zips = tuple(f"{base + k:05d}" for k in range(3))
+        cities.append(City(name=name, state=state, county=county, zips=zips))
+    return cities
+
+
+def address_pool(rng: np.random.Generator, count: int) -> list[str]:
+    """``count`` distinct street addresses like ``"412 Oak Ave"``."""
+    out: set[str] = set()
+    while len(out) < count:
+        number = int(rng.integers(100, 9900))
+        street = _STREETS[int(rng.integers(0, len(_STREETS)))]
+        out.add(f"{number} {street}")
+    return sorted(out)
+
+
+def zip_city_state_entries(cities: list[City]) -> list[dict[str, str]]:
+    """Dictionary entries (Ext_Zip, Ext_City, Ext_State) for the whole world."""
+    entries = []
+    for city in cities:
+        for z in city.zips:
+            entries.append({"Ext_Zip": z, "Ext_City": city.name,
+                            "Ext_State": city.state})
+    return entries

@@ -1,0 +1,103 @@
+"""Schema definitions for datasets cleaned by HoloClean.
+
+A :class:`Schema` is an ordered collection of named attributes.  HoloClean
+treats every value as an opaque categorical token (the paper's model assigns
+one categorical random variable per cell), so attributes carry no numeric
+type — only an optional human-readable ``role`` used by featurizers (for
+example, marking an attribute as the provenance/source column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    role:
+        Optional marker used by featurizers.  Recognised roles:
+        ``"source"`` (tuple provenance, used by the source featurizer) and
+        ``"id"`` (an identifier that should never be repaired).
+    """
+
+    name: str
+    role: str = "data"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+
+class Schema:
+    """An ordered, immutable set of attributes.
+
+    Supports lookup by name or positional index and iteration in
+    declaration order.
+    """
+
+    def __init__(self, attributes: list[Attribute] | list[str]):
+        attrs: list[Attribute] = []
+        for a in attributes:
+            attrs.append(Attribute(a) if isinstance(a, str) else a)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {dupes}")
+        if not attrs:
+            raise ValueError("schema must have at least one attribute")
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._index: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> list[str]:
+        """Attribute names in declaration order."""
+        return [a.name for a in self._attributes]
+
+    def index_of(self, name: str) -> int:
+        """Positional index of attribute ``name`` (raises ``KeyError``)."""
+        return self._index[name]
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self._index[name]]
+
+    def has(self, name: str) -> bool:
+        return name in self._index
+
+    def with_role(self, role: str) -> list[str]:
+        """Names of all attributes carrying the given role."""
+        return [a.name for a in self._attributes if a.role == role]
+
+    @property
+    def data_attributes(self) -> list[str]:
+        """Attributes eligible for repair (role ``"data"``)."""
+        return [a.name for a in self._attributes if a.role == "data"]
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({[a.name for a in self._attributes]!r})"

@@ -1,0 +1,152 @@
+"""Quantitative statistics of a dataset.
+
+These statistics back two parts of the paper:
+
+* **Algorithm 2 (domain pruning)** uses the empirical conditional
+  ``Pr[v | v_c'] = #(v, v_c' together) / #(v_c')`` to select candidate
+  repairs whose co-occurrence probability exceeds a threshold τ.
+* **Quantitative-statistics features** (Section 4.2) use value frequencies
+  and co-occurrence strengths as evidence in the probabilistic model.
+
+Pairwise counts are computed lazily per attribute pair and cached, so the
+cost is O(#tuples) per pair actually used rather than O(#tuples · #attrs²)
+up front.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dataset.dataset import Dataset
+
+
+class Statistics:
+    """Frequency and co-occurrence statistics over a :class:`Dataset`.
+
+    All statistics ignore NULL values — a NULL neither counts as a value
+    nor conditions anything, matching the paper's treatment of missing
+    data as cells to be inferred rather than observations.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+        self._single: dict[str, Counter[str]] = {}
+        self._pair: dict[tuple[str, str], Counter[tuple[str, str]]] = {}
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    # ------------------------------------------------------------------
+    # Single-attribute statistics
+    # ------------------------------------------------------------------
+    def counts(self, attribute: str) -> Counter:
+        """Value → occurrence count for one attribute (cached)."""
+        cached = self._single.get(attribute)
+        if cached is None:
+            idx = self._dataset.schema.index_of(attribute)
+            cached = Counter()
+            for tid in self._dataset.tuple_ids:
+                v = self._dataset.row_ref(tid)[idx]
+                if v is not None:
+                    cached[v] += 1
+            self._single[attribute] = cached
+        return cached
+
+    def frequency(self, attribute: str, value: str) -> int:
+        """Number of tuples where ``attribute = value``."""
+        return self.counts(attribute).get(value, 0)
+
+    def relative_frequency(self, attribute: str, value: str) -> float:
+        """``frequency / #non-NULL values`` of the attribute (0 if empty)."""
+        counts = self.counts(attribute)
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return counts.get(value, 0) / total
+
+    # ------------------------------------------------------------------
+    # Pairwise co-occurrence statistics
+    # ------------------------------------------------------------------
+    def pair_counts(self, attr_a: str, attr_b: str) -> Counter:
+        """(value_a, value_b) → co-occurrence count for an attribute pair.
+
+        Symmetric data is stored once under the sorted key; lookups swap
+        the tuple as needed.
+        """
+        if attr_a == attr_b:
+            raise ValueError("co-occurrence requires two distinct attributes")
+        key = (attr_a, attr_b) if attr_a <= attr_b else (attr_b, attr_a)
+        cached = self._pair.get(key)
+        if cached is None:
+            ia = self._dataset.schema.index_of(key[0])
+            ib = self._dataset.schema.index_of(key[1])
+            cached = Counter()
+            for tid in self._dataset.tuple_ids:
+                row = self._dataset.row_ref(tid)
+                va, vb = row[ia], row[ib]
+                if va is not None and vb is not None:
+                    cached[(va, vb)] += 1
+            self._pair[key] = cached
+        if (attr_a, attr_b) == key:
+            return cached
+        # Present the cached symmetric counter in caller order.
+        swapped = Counter({(b, a): n for (a, b), n in cached.items()})
+        return swapped
+
+    def cooccurrence(self, attr_a: str, value_a: str,
+                     attr_b: str, value_b: str) -> int:
+        """Count of tuples where both values appear together."""
+        key_sorted = attr_a <= attr_b
+        counter = self.pair_counts(attr_a, attr_b) if key_sorted else None
+        if counter is not None:
+            return counter.get((value_a, value_b), 0)
+        counter = self.pair_counts(attr_b, attr_a)
+        return counter.get((value_b, value_a), 0)
+
+    def conditional(self, attr: str, value: str,
+                    given_attr: str, given_value: str) -> float:
+        """Empirical ``Pr[attr=value | given_attr=given_value]``.
+
+        This is exactly the quantity thresholded by τ in Algorithm 2:
+        ``#(value, given_value) appear together / #(given_value)``.
+        Returns 0.0 when the conditioning value never appears.
+        """
+        denom = self.frequency(given_attr, given_value)
+        if denom == 0:
+            return 0.0
+        return self.cooccurrence(attr, value, given_attr, given_value) / denom
+
+    def cooccurring_values(self, attr: str, given_attr: str,
+                           given_value: str) -> dict[str, int]:
+        """All values of ``attr`` co-occurring with ``given_attr=given_value``.
+
+        Returns value → joint count; the candidate-generation inner loop of
+        Algorithm 2 iterates this mapping instead of the full active domain,
+        which is equivalent (values that never co-occur have Pr = 0 < τ)
+        and much faster.
+        """
+        out: dict[str, int] = {}
+        if attr <= given_attr:
+            for (va, vb), n in self.pair_counts(attr, given_attr).items():
+                if vb == given_value:
+                    out[va] = n
+        else:
+            for (vb, va), n in self.pair_counts(given_attr, attr).items():
+                if vb == given_value:
+                    out[va] = n
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def num_distinct(self, attribute: str) -> int:
+        return len(self.counts(attribute))
+
+    def most_common(self, attribute: str, k: int = 1) -> list[tuple[str, int]]:
+        return self.counts(attribute).most_common(k)
+
+    def invalidate(self) -> None:
+        """Drop caches after the underlying dataset was mutated."""
+        self._single.clear()
+        self._pair.clear()

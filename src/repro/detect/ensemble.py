@@ -1,0 +1,26 @@
+"""Combining detectors: the union of noisy cells, merged hypergraphs."""
+
+from __future__ import annotations
+
+from repro.dataset.dataset import Dataset
+from repro.detect.base import DetectionResult, ErrorDetector
+
+
+class EnsembleDetector(ErrorDetector):
+    """Runs several detectors and unions their findings.
+
+    HoloClean's error detection is a black box that may combine multiple
+    mechanisms (Section 2.2); the union preserves each detector's conflict
+    hypergraph so downstream partitioning still sees every violation.
+    """
+
+    def __init__(self, detectors: list[ErrorDetector]):
+        if not detectors:
+            raise ValueError("ensemble needs at least one detector")
+        self.detectors = list(detectors)
+
+    def detect(self, dataset: Dataset) -> DetectionResult:
+        result = DetectionResult()
+        for detector in self.detectors:
+            result.merge(detector.detect(dataset))
+        return result

@@ -1,0 +1,37 @@
+"""Error detection against external dictionaries.
+
+When a tuple aligns with dictionary entries through a matching dependency
+but its target cell disagrees with every matched value, that cell is
+flagged as noisy (the "leverage external data" path of Figure 2's error
+detection module [5, 13, 19]).
+"""
+
+from __future__ import annotations
+
+from repro.constraints.matching import MatchingDependency
+from repro.dataset.dataset import Dataset
+from repro.detect.base import DetectionResult, ErrorDetector
+from repro.external.dictionary import ExternalDictionary
+from repro.external.matcher import match_dictionary
+
+
+class ExternalDetector(ErrorDetector):
+    """Flags cells that contradict all matched dictionary values."""
+
+    def __init__(self, dictionary: ExternalDictionary,
+                 dependencies: list[MatchingDependency]):
+        self.dictionary = dictionary
+        self.dependencies = list(dependencies)
+
+    def detect(self, dataset: Dataset) -> DetectionResult:
+        matched = match_dictionary(dataset, self.dictionary, self.dependencies)
+        noisy = set()
+        for cell in matched.cells():
+            observed = dataset.cell_value(cell)
+            if observed is None:
+                noisy.add(cell)
+                continue
+            agreed = any(m.value == observed for m in matched.for_cell(cell))
+            if not agreed:
+                noisy.add(cell)
+        return DetectionResult(noisy_cells=noisy)

@@ -1,0 +1,135 @@
+"""Conflict hypergraphs over detected violations.
+
+Following Kolahi & Lakshmanan [26] and Section 5.1.2 of the paper: nodes
+are cells that participate in detected violations; each hyperedge links the
+cells involved in one violation and is annotated with the constraint that
+produced it.  Algorithm 3 derives, per constraint, the connected components
+of tuples — the groups inside which denial-constraint factors are grounded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.constraints.denial import DenialConstraint
+from repro.dataset.dataset import Cell
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One hyperedge: a constraint together with the tuples/cells it links."""
+
+    constraint_name: str
+    tids: tuple[int, ...]
+    cells: tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tids:
+            raise ValueError("violation must involve at least one tuple")
+
+
+class _UnionFind:
+    """Path-compressed union-find over arbitrary hashable items."""
+
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, x):
+        parent = self._parent.setdefault(x, x)
+        if parent != x:
+            root = self.find(parent)
+            self._parent[x] = root
+            return root
+        return x
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def components(self) -> list[set]:
+        groups: dict = defaultdict(set)
+        for x in self._parent:
+            groups[self.find(x)].add(x)
+        return list(groups.values())
+
+
+class ConflictHypergraph:
+    """All violations detected in a dataset, with per-constraint views."""
+
+    def __init__(self, constraints: list[DenialConstraint] | None = None):
+        self._violations: list[Violation] = []
+        self._by_constraint: dict[str, list[Violation]] = defaultdict(list)
+        self._constraints = {c.name: c for c in (constraints or [])}
+
+    def add(self, violation: Violation) -> None:
+        self._violations.append(violation)
+        self._by_constraint[violation.constraint_name].append(violation)
+
+    def extend(self, violations) -> None:
+        for v in violations:
+            self.add(v)
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self._violations
+
+    def by_constraint(self, name: str) -> list[Violation]:
+        return self._by_constraint.get(name, [])
+
+    @property
+    def constraint_names(self) -> list[str]:
+        return list(self._by_constraint)
+
+    def constraint(self, name: str) -> DenialConstraint | None:
+        return self._constraints.get(name)
+
+    def cells(self) -> set[Cell]:
+        """All cells appearing in any violation (the noisy-cell candidates)."""
+        out: set[Cell] = set()
+        for v in self._violations:
+            out.update(v.cells)
+        return out
+
+    def tuples(self) -> set[int]:
+        out: set[int] = set()
+        for v in self._violations:
+            out.update(v.tids)
+        return out
+
+    def violation_count(self, constraint_name: str | None = None) -> int:
+        if constraint_name is None:
+            return len(self._violations)
+        return len(self._by_constraint.get(constraint_name, []))
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: per-constraint connected components of tuples
+    # ------------------------------------------------------------------
+    def tuple_components(self, constraint_name: str) -> list[set[int]]:
+        """Connected components of the subgraph H_σ for one constraint.
+
+        Tuples are connected when they co-occur in a violation of σ; each
+        component is a group over which DC factors are grounded.
+        """
+        uf = _UnionFind()
+        for v in self._by_constraint.get(constraint_name, []):
+            first = v.tids[0]
+            uf.find(first)  # register singletons too
+            for other in v.tids[1:]:
+                uf.union(first, other)
+        return uf.components()
+
+    def all_components(self) -> dict[str, list[set[int]]]:
+        """Algorithm 3's output: constraint → list of tuple groups."""
+        return {name: self.tuple_components(name) for name in self._by_constraint}
+
+    def merge(self, other: "ConflictHypergraph") -> None:
+        """Absorb another hypergraph (used by the ensemble detector)."""
+        for name, dc in other._constraints.items():
+            self._constraints.setdefault(name, dc)
+        for v in other._violations:
+            self.add(v)
+
+    def __len__(self) -> int:
+        return len(self._violations)

@@ -1,0 +1,24 @@
+"""NULL detection: missing values are cells to be inferred."""
+
+from __future__ import annotations
+
+from repro.dataset.dataset import Cell, Dataset
+from repro.detect.base import DetectionResult, ErrorDetector
+
+
+class NullDetector(ErrorDetector):
+    """Flags every NULL cell in the given (default: all data) attributes."""
+
+    def __init__(self, attributes: list[str] | None = None):
+        self.attributes = attributes
+
+    def detect(self, dataset: Dataset) -> DetectionResult:
+        attrs = self.attributes or dataset.schema.data_attributes
+        indexes = [(a, dataset.schema.index_of(a)) for a in attrs]
+        noisy = {
+            Cell(tid, a)
+            for tid in dataset.tuple_ids
+            for a, i in indexes
+            if dataset.row_ref(tid)[i] is None
+        }
+        return DetectionResult(noisy_cells=noisy)

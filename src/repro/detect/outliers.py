@@ -1,0 +1,56 @@
+"""Frequency-based outlier detection for categorical data.
+
+Implements the "detect outliers" option of HoloClean's error-detection
+module (Figure 2), in the spirit of Das & Schneider [15] and
+Hellerstein [22]: a cell is flagged when its value is a rare exception in
+an otherwise concentrated attribute.  Two guards keep the detector from
+flagging genuinely high-cardinality attributes (names, addresses):
+
+* the value's relative frequency must fall below ``max_relative_frequency``
+  *and* its absolute count below ``max_count``;
+* the attribute itself must be concentrated — its most frequent value must
+  cover at least ``dominance`` of the non-NULL cells.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.stats import Statistics
+from repro.detect.base import DetectionResult, ErrorDetector
+
+
+class OutlierDetector(ErrorDetector):
+    """Flags rare values in concentrated categorical attributes."""
+
+    def __init__(self, attributes: list[str] | None = None,
+                 max_relative_frequency: float = 0.01,
+                 max_count: int = 3,
+                 dominance: float = 0.2):
+        self.attributes = attributes
+        self.max_relative_frequency = max_relative_frequency
+        self.max_count = max_count
+        self.dominance = dominance
+
+    def detect(self, dataset: Dataset) -> DetectionResult:
+        stats = Statistics(dataset)
+        attrs = self.attributes or dataset.schema.data_attributes
+        noisy: set[Cell] = set()
+        for attr in attrs:
+            counts = stats.counts(attr)
+            total = sum(counts.values())
+            if total == 0:
+                continue
+            top = counts.most_common(1)[0][1]
+            if top / total < self.dominance:
+                continue  # attribute too diverse to call anything an outlier
+            rare = {
+                v for v, n in counts.items()
+                if n <= self.max_count and n / total <= self.max_relative_frequency
+            }
+            if not rare:
+                continue
+            idx = dataset.schema.index_of(attr)
+            for tid in dataset.tuple_ids:
+                if dataset.row_ref(tid)[idx] in rare:
+                    noisy.add(Cell(tid, attr))
+        return DetectionResult(noisy_cells=noisy)

@@ -1,0 +1,70 @@
+"""Marginal-probability calibration buckets (Figure 6).
+
+The paper validates that HoloClean's marginals carry rigorous semantics
+by bucketing suggested repairs by marginal probability ([0.5–0.6) …
+[0.9–1.0]) and measuring the error rate inside each bucket: higher
+confidence should mean a lower error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.repair import RepairResult
+from repro.dataset.dataset import Dataset
+
+#: Figure 6's bucket boundaries.
+DEFAULT_BUCKETS = ((0.5, 0.6), (0.6, 0.7), (0.7, 0.8), (0.8, 0.9), (0.9, 1.0 + 1e-9))
+
+
+@dataclass
+class BucketReport:
+    """Per-bucket repair counts and error rates."""
+
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    errors: list[int] = field(default_factory=list)
+
+    @property
+    def error_rates(self) -> list[float | None]:
+        """Error rate per bucket; None for empty buckets."""
+        return [
+            (e / c if c else None)
+            for e, c in zip(self.errors, self.counts)
+        ]
+
+    def labels(self) -> list[str]:
+        return [f"[{lo:.1f}-{hi if hi <= 1.0 else 1.0:.1f})"
+                for lo, hi in self.buckets]
+
+    def merge(self, other: "BucketReport") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge reports with different buckets")
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+            self.errors = [0] * len(self.buckets)
+        for i in range(len(self.buckets)):
+            self.counts[i] += other.counts[i]
+            self.errors[i] += other.errors[i]
+
+
+def bucket_error_rates(result: RepairResult, clean: Dataset,
+                       buckets=DEFAULT_BUCKETS) -> BucketReport:
+    """Bucket every *suggested repair* by confidence and score correctness.
+
+    Mirrors the paper's experiment: only cells where HoloClean proposed a
+    change are considered, and a repair is an error when the proposed
+    value differs from the ground truth.
+    """
+    counts = [0] * len(buckets)
+    errors = [0] * len(buckets)
+    for cell, inference in result.repairs.items():
+        confidence = inference.confidence
+        truth = clean.cell_value(cell)
+        for i, (lo, hi) in enumerate(buckets):
+            if lo <= confidence < hi:
+                counts[i] += 1
+                if inference.chosen_value != truth:
+                    errors[i] += 1
+                break
+    return BucketReport(buckets=buckets, counts=counts, errors=errors)

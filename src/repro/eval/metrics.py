@@ -1,0 +1,81 @@
+"""Repair-quality metrics (Section 6.1, "Evaluation Methodology").
+
+* **Precision** — fraction of performed repairs that match the ground
+  truth.
+* **Recall** — correct repairs over the total number of errors.
+* **F1** — ``2PR / (P + R)``.
+
+A *repair* is any cell whose value differs between the dirty input and
+the method's output; it is *correct* when the new value equals the clean
+(ground-truth) value.  A method that performs no repairs has precision
+and recall 0 by convention (the paper marks Holistic on Flights with
+"did not perform any correct repairs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.dataset import Cell, Dataset
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """Precision/recall/F1 plus the raw counts behind them."""
+
+    precision: float
+    recall: float
+    f1: float
+    correct_repairs: int
+    total_repairs: int
+    total_errors: int
+
+    def row(self) -> dict[str, float]:
+        return {"precision": self.precision, "recall": self.recall,
+                "f1": self.f1}
+
+    def __str__(self) -> str:
+        return (f"P={self.precision:.3f} R={self.recall:.3f} "
+                f"F1={self.f1:.3f} ({self.correct_repairs}/"
+                f"{self.total_repairs} repairs, {self.total_errors} errors)")
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def evaluate_repairs(dirty: Dataset, repaired: Dataset, clean: Dataset,
+                     error_cells: set[Cell] | None = None) -> RepairQuality:
+    """Score a repaired dataset against ground truth.
+
+    ``error_cells`` defaults to the dirty-vs-clean diff (exact for
+    generated datasets; the paper had to label samples by hand).
+    """
+    if error_cells is None:
+        error_cells = set(dirty.diff(clean))
+    repairs = dirty.diff(repaired)
+    correct = sum(
+        1 for cell in repairs
+        if repaired.cell_value(cell) == clean.cell_value(cell)
+    )
+    total_repairs = len(repairs)
+    total_errors = len(error_cells)
+    precision = correct / total_repairs if total_repairs else 0.0
+    recall = correct / total_errors if total_errors else 0.0
+    return RepairQuality(precision=precision, recall=recall,
+                         f1=_f1(precision, recall),
+                         correct_repairs=correct,
+                         total_repairs=total_repairs,
+                         total_errors=total_errors)
+
+
+def evaluate_method_result(dirty: Dataset, result, clean: Dataset,
+                           error_cells: set[Cell] | None = None) -> RepairQuality:
+    """Convenience wrapper accepting HoloClean or baseline result objects."""
+    repaired = getattr(result, "repaired", None)
+    if repaired is None:
+        raise TypeError(f"result object {type(result).__name__} has no "
+                        f"'repaired' dataset")
+    return evaluate_repairs(dirty, repaired, clean, error_cells=error_cells)

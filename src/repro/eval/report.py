@@ -1,0 +1,35 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """ASCII table with per-column width fitting."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: list, ys: list) -> str:
+    """One figure series as ``name: x=y`` pairs (figures are printed, not
+    plotted, in this reproduction)."""
+    points = ", ".join(f"{_fmt(x)}→{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"

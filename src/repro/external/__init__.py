@@ -1,0 +1,16 @@
+"""External information: dictionaries and matching-dependency grounding.
+
+Implements the ``ExtDict(tk, ak, v, k)`` relation of Section 4.1 and the
+``Matched(t, a, v, k)`` grounding of Example 3: aligning dirty tuples with
+entries of external dictionaries via matching dependencies.
+"""
+
+from repro.external.dictionary import ExternalDictionary
+from repro.external.matcher import Match, MatchedRelation, match_dictionary
+
+__all__ = [
+    "ExternalDictionary",
+    "Match",
+    "MatchedRelation",
+    "match_dictionary",
+]

@@ -1,0 +1,73 @@
+"""External dictionaries (the ``ExtDict`` relation of Section 4.1).
+
+A dictionary is a small clean relation — e.g. the paper's address listing
+with columns ``Ext_Address, Ext_City, Ext_State, Ext_Zip`` — identified by
+an indicator ``k`` so that the model can learn a separate reliability
+weight ``w(k)`` per dictionary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+
+class ExternalDictionary:
+    """A named collection of clean reference entries.
+
+    Entries are attribute → value dicts over ``attributes``.  Exact-match
+    indexes are built lazily per attribute to keep matching-dependency
+    grounding near-linear.
+    """
+
+    def __init__(self, name: str, attributes: list[str],
+                 entries: Iterable[dict[str, str | None]] = ()):
+        if not name:
+            raise ValueError("dictionary needs a name (the indicator k)")
+        self.name = name
+        self.attributes = list(attributes)
+        if not self.attributes:
+            raise ValueError("dictionary needs at least one attribute")
+        self._entries: list[dict[str, str | None]] = []
+        self._indexes: dict[str, dict[str, list[int]]] = {}
+        for e in entries:
+            self.add(e)
+
+    def add(self, entry: dict[str, str | None]) -> int:
+        unknown = set(entry) - set(self.attributes)
+        if unknown:
+            raise KeyError(f"entry has attributes not in dictionary: {sorted(unknown)}")
+        full = {a: entry.get(a) for a in self.attributes}
+        self._entries.append(full)
+        self._indexes.clear()  # invalidate lazy indexes
+        return len(self._entries) - 1
+
+    @property
+    def entries(self) -> list[dict[str, str | None]]:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def index_on(self, attribute: str) -> dict[str, list[int]]:
+        """Value → entry-ids index for one attribute (built lazily)."""
+        if attribute not in self.attributes:
+            raise KeyError(f"no such dictionary attribute: {attribute}")
+        idx = self._indexes.get(attribute)
+        if idx is None:
+            idx = defaultdict(list)
+            for eid, entry in enumerate(self._entries):
+                v = entry.get(attribute)
+                if v is not None:
+                    idx[v].append(eid)
+            idx = dict(idx)
+            self._indexes[attribute] = idx
+        return idx
+
+    def lookup(self, attribute: str, value: str) -> list[int]:
+        """Entry ids whose ``attribute`` equals ``value`` exactly."""
+        return self.index_on(attribute).get(value, [])
+
+    def __repr__(self) -> str:
+        return (f"ExternalDictionary(name={self.name!r}, "
+                f"attributes={self.attributes!r}, entries={len(self._entries)})")

@@ -1,0 +1,120 @@
+"""Grounding matching dependencies into the ``Matched`` relation.
+
+Example 3 of the paper: for the dependency ``Zip = Ext_Zip → City =
+Ext_City``, every tuple whose zip equals a dictionary entry's zip yields
+``Matched(t, City, c2, k)`` where ``c2`` is the dictionary's city.  The
+compilation module then attaches a factor ``Value?(t, a, d) :-
+Matched(t, a, d, k)`` with a per-dictionary weight ``w(k)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.constraints.matching import MatchingDependency
+from repro.dataset.dataset import Cell, Dataset
+from repro.external.dictionary import ExternalDictionary
+
+
+@dataclass(frozen=True)
+class Match:
+    """One grounded ``Matched(t, a, v, k)`` fact with a support count."""
+
+    cell: Cell
+    value: str
+    dictionary: str
+    support: int = 1
+
+
+class MatchedRelation:
+    """All grounded matches, indexed by cell."""
+
+    def __init__(self):
+        self._by_cell: dict[Cell, list[Match]] = defaultdict(list)
+        self._count = 0
+
+    def add(self, match: Match) -> None:
+        self._by_cell[match.cell].append(match)
+        self._count += 1
+
+    def for_cell(self, cell: Cell) -> list[Match]:
+        return self._by_cell.get(cell, [])
+
+    def cells(self) -> list[Cell]:
+        return list(self._by_cell)
+
+    def best_value(self, cell: Cell) -> str | None:
+        """The matched value with the highest total support, if any."""
+        matches = self._by_cell.get(cell)
+        if not matches:
+            return None
+        totals: Counter[str] = Counter()
+        for m in matches:
+            totals[m.value] += m.support
+        return totals.most_common(1)[0][0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        for matches in self._by_cell.values():
+            yield from matches
+
+
+def match_dictionary(dataset: Dataset, dictionary: ExternalDictionary,
+                     dependencies: list[MatchingDependency]) -> MatchedRelation:
+    """Ground every matching dependency against one dictionary.
+
+    Exact match predicates are served from dictionary indexes; fuzzy
+    (``≈``) predicates filter the candidate entries afterwards.  If no
+    exact predicate exists the dependency scans the whole dictionary —
+    acceptable because dictionaries are small reference tables.
+
+    Distinct matched values are aggregated with their support (number of
+    matching entries), so conflicting dictionary entries surface as
+    competing ``Matched`` facts rather than being silently dropped.
+    """
+    matched = MatchedRelation()
+    for md in dependencies:
+        exact = [m for m in md.matches if not m.fuzzy]
+        fuzzy = [m for m in md.matches if m.fuzzy]
+        for tid in dataset.tuple_ids:
+            values = dataset.tuple_dict(tid)
+            candidates = _candidate_entries(dictionary, exact, values)
+            if candidates is None:  # no exact predicate: scan everything
+                candidates = range(len(dictionary))
+            support: Counter[str] = Counter()
+            for eid in candidates:
+                entry = dictionary.entries[eid]
+                if all(m.matches(values.get(m.dataset_attribute),
+                                 entry.get(m.dict_attribute)) for m in fuzzy):
+                    v = entry.get(md.dict_target_attribute)
+                    if v is not None:
+                        support[v] += 1
+            cell = Cell(tid, md.target_attribute)
+            for value, count in support.items():
+                matched.add(Match(cell, value, dictionary.name, support=count))
+    return matched
+
+
+def _candidate_entries(dictionary: ExternalDictionary, exact_predicates,
+                       tuple_values: dict[str, str | None]) -> list[int] | None:
+    """Intersect index lookups for all exact predicates.
+
+    Returns None when there is no exact predicate to index on, and an
+    empty list when some predicate's dataset value is NULL (no match is
+    possible per the NULL semantics of matching).
+    """
+    if not exact_predicates:
+        return None
+    result: set[int] | None = None
+    for pred in exact_predicates:
+        v = tuple_values.get(pred.dataset_attribute)
+        if v is None:
+            return []
+        ids = set(dictionary.lookup(pred.dict_attribute, v))
+        result = ids if result is None else (result & ids)
+        if not result:
+            return []
+    return sorted(result) if result else []

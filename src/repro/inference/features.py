@@ -1,0 +1,195 @@
+"""Tied weights and sparse per-candidate feature storage.
+
+DeepDive's inference rules carry *parameterised weights* — e.g.
+``weight = w(d, f)`` ties one learnable scalar to every distinct
+``(candidate value, feature)`` combination.  :class:`FeatureSpace` maps
+arbitrary hashable weight keys to dense indices; :class:`FeatureMatrix`
+stores, for every (variable, candidate) row, the sparse vector of feature
+values that ground the unary rules of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+
+class FeatureSpace:
+    """Bidirectional mapping between weight keys and dense indices.
+
+    Some weights are *fixed constants* rather than learnable parameters —
+    the minimality prior ("weight w is a positive constant indicating the
+    strength of this prior", Section 4.2) and Algorithm 1's constant DC
+    factor weight.  :meth:`set_fixed` pins such weights; trainers must
+    initialise them to the pinned value and exclude them from updates.
+    """
+
+    def __init__(self):
+        self._index: dict[Hashable, int] = {}
+        self._keys: list[Hashable] = []
+        self._fixed: dict[int, float] = {}
+        self._frozen = False
+
+    def index(self, key: Hashable) -> int:
+        """Index for ``key``, allocating a new one unless frozen."""
+        idx = self._index.get(key)
+        if idx is None:
+            if self._frozen:
+                raise KeyError(f"feature space is frozen; unknown key {key!r}")
+            idx = len(self._keys)
+            self._index[key] = idx
+            self._keys.append(key)
+        return idx
+
+    def get(self, key: Hashable) -> int | None:
+        return self._index.get(key)
+
+    def key(self, idx: int) -> Hashable:
+        return self._keys[idx]
+
+    def set_fixed(self, key: Hashable, value: float) -> int:
+        """Pin ``key``'s weight to a constant; returns its index."""
+        idx = self.index(key)
+        self._fixed[idx] = float(value)
+        return idx
+
+    @property
+    def fixed_weights(self) -> dict[int, float]:
+        """Index → pinned value for all constant weights."""
+        return dict(self._fixed)
+
+    def freeze(self) -> None:
+        """Disallow new keys (used after grounding, before learning)."""
+        self._frozen = True
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+
+class FeatureMatrix:
+    """Immutable CSR-ish storage of per-(variable, candidate) features.
+
+    Attributes
+    ----------
+    var_row_start:
+        ``int64[num_vars + 1]`` — rows of variable ``v`` are
+        ``var_row_start[v] : var_row_start[v+1]``; row order follows
+        candidate order.
+    indices / values / row_ptr:
+        Flat sparse entries: row ``r`` owns entries
+        ``row_ptr[r] : row_ptr[r+1]``.
+    """
+
+    def __init__(self, var_row_start: np.ndarray, indices: np.ndarray,
+                 values: np.ndarray, row_ptr: np.ndarray, num_features: int):
+        self.var_row_start = var_row_start
+        self.indices = indices
+        self.values = values
+        self.row_ptr = row_ptr
+        self.num_features = num_features
+        self._row_ids: np.ndarray | None = None
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.var_row_start) - 1
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.indices)
+
+    def entry_row_ids(self) -> np.ndarray:
+        """Row id of every sparse entry (cached)."""
+        if self._row_ids is None:
+            lengths = np.diff(self.row_ptr)
+            self._row_ids = np.repeat(
+                np.arange(self.num_rows, dtype=np.int64), lengths)
+        return self._row_ids
+
+    def scores(self, weights: np.ndarray) -> np.ndarray:
+        """θ·x per row: the unary potential of every candidate."""
+        if len(weights) != self.num_features:
+            raise ValueError(
+                f"weight vector has {len(weights)} entries, "
+                f"feature space has {self.num_features}")
+        contributions = weights[self.indices] * self.values
+        return np.bincount(self.entry_row_ids(), weights=contributions,
+                           minlength=self.num_rows).astype(np.float64)
+
+    def rows_of(self, var: int) -> range:
+        return range(int(self.var_row_start[var]), int(self.var_row_start[var + 1]))
+
+    def var_scores(self, var: int, weights: np.ndarray) -> np.ndarray:
+        """Unary scores for one variable only (used in unit tests)."""
+        out = []
+        for r in self.rows_of(var):
+            lo, hi = self.row_ptr[r], self.row_ptr[r + 1]
+            out.append(float(np.dot(weights[self.indices[lo:hi]],
+                                    self.values[lo:hi])))
+        return np.asarray(out)
+
+
+class FeatureMatrixBuilder:
+    """Incremental builder used during grounding.
+
+    Usage::
+
+        builder = FeatureMatrixBuilder(space)
+        v = builder.start_variable(num_candidates)
+        builder.add(v, candidate_index, key, value)
+        matrix = builder.build()
+    """
+
+    def __init__(self, space: FeatureSpace):
+        self.space = space
+        self._var_sizes: list[int] = []
+        self._rows: list[list[tuple[int, float]]] = []
+        self._row_base: list[int] = []
+
+    def start_variable(self, num_candidates: int) -> int:
+        """Register a variable with the given domain size; returns its id."""
+        if num_candidates <= 0:
+            raise ValueError("variables need at least one candidate")
+        vid = len(self._var_sizes)
+        self._row_base.append(len(self._rows))
+        self._var_sizes.append(num_candidates)
+        for _ in range(num_candidates):
+            self._rows.append([])
+        return vid
+
+    def add(self, var: int, candidate: int, key, value: float) -> None:
+        """Attach ``feature(key) = value`` to one candidate of a variable."""
+        if not 0 <= candidate < self._var_sizes[var]:
+            raise IndexError(
+                f"candidate {candidate} out of range for variable {var} "
+                f"(domain size {self._var_sizes[var]})")
+        self._rows[self._row_base[var] + candidate].append(
+            (self.space.index(key), float(value)))
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_sizes)
+
+    def build(self) -> FeatureMatrix:
+        var_row_start = np.zeros(len(self._var_sizes) + 1, dtype=np.int64)
+        np.cumsum(self._var_sizes, out=var_row_start[1:])
+        row_ptr = np.zeros(len(self._rows) + 1, dtype=np.int64)
+        np.cumsum([len(r) for r in self._rows], out=row_ptr[1:])
+        total = int(row_ptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        values = np.empty(total, dtype=np.float64)
+        pos = 0
+        for row in self._rows:
+            for idx, val in row:
+                indices[pos] = idx
+                values[pos] = val
+                pos += 1
+        return FeatureMatrix(var_row_start, indices, values, row_ptr,
+                             num_features=len(self.space))

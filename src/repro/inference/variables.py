@@ -1,0 +1,81 @@
+"""Random variables of the grounded model.
+
+Each cell ``t[a]`` becomes one categorical variable ``T_c`` over a pruned
+candidate domain (Section 2.2).  Evidence variables (clean cells) are fixed
+to their observed value and drive weight learning; query variables (noisy
+cells) are inferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.dataset import Cell
+
+
+@dataclass
+class VariableInfo:
+    """Metadata for one grounded random variable."""
+
+    vid: int
+    cell: Cell
+    domain: list[str]
+    init_index: int       # position of the observed initial value, -1 if absent
+    is_evidence: bool
+
+    @property
+    def observed_index(self) -> int:
+        """Training label for evidence variables (their observed value)."""
+        if not self.is_evidence:
+            raise ValueError(f"variable {self.vid} is not evidence")
+        if self.init_index < 0:
+            raise ValueError(
+                f"evidence variable {self.vid} lacks its observed value "
+                f"in its domain")
+        return self.init_index
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.domain)
+
+    def candidate_index(self, value: str) -> int | None:
+        try:
+            return self.domain.index(value)
+        except ValueError:
+            return None
+
+
+class VariableBlock:
+    """An ordered collection of variables with cell-based lookup."""
+
+    def __init__(self):
+        self._vars: list[VariableInfo] = []
+        self._by_cell: dict[Cell, int] = {}
+
+    def add(self, cell: Cell, domain: list[str], init_index: int,
+            is_evidence: bool) -> VariableInfo:
+        if cell in self._by_cell:
+            raise ValueError(f"duplicate variable for cell {cell}")
+        info = VariableInfo(len(self._vars), cell, domain, init_index, is_evidence)
+        self._vars.append(info)
+        self._by_cell[cell] = info.vid
+        return info
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def __getitem__(self, vid: int) -> VariableInfo:
+        return self._vars[vid]
+
+    def __iter__(self):
+        return iter(self._vars)
+
+    def by_cell(self, cell: Cell) -> VariableInfo | None:
+        vid = self._by_cell.get(cell)
+        return self._vars[vid] if vid is not None else None
+
+    def evidence_ids(self) -> list[int]:
+        return [v.vid for v in self._vars if v.is_evidence]
+
+    def query_ids(self) -> list[int]:
+        return [v.vid for v in self._vars if not v.is_evidence]

@@ -1,0 +1,41 @@
+"""Tests for the shared baseline infrastructure."""
+
+import time
+
+import pytest
+
+from repro.baselines.base import Deadline, MethodResult, MethodTimeout
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+
+
+class TestDeadline:
+    def test_no_budget_never_raises(self):
+        deadline = Deadline(None)
+        deadline.check("method")  # no exception
+
+    def test_exceeded_budget_raises(self):
+        deadline = Deadline(0.0)
+        time.sleep(0.01)
+        with pytest.raises(MethodTimeout, match="budget"):
+            deadline.check("method")
+
+    def test_elapsed_increases(self):
+        deadline = Deadline(None)
+        first = deadline.elapsed
+        time.sleep(0.01)
+        assert deadline.elapsed > first
+
+
+class TestMethodResult:
+    def test_num_repairs(self):
+        ds = Dataset(Schema(["A"]), [["x"]])
+        result = MethodResult(repaired=ds,
+                              repairs={Cell(0, "A"): "y"})
+        assert result.num_repairs == 1
+
+    def test_defaults(self):
+        ds = Dataset(Schema(["A"]), [["x"]])
+        result = MethodResult(repaired=ds)
+        assert result.num_repairs == 0
+        assert not result.timed_out

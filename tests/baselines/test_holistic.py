@@ -1,0 +1,85 @@
+"""Tests for the Holistic baseline (minimality + fresh values)."""
+
+import pytest
+
+from repro.baselines.holistic import HolisticRepair
+from repro.constraints.fd import parse_fd
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def dc():
+    return parse_fd("Zip -> City").to_denial_constraints()[0]
+
+
+class TestConsistentDemands:
+    def test_repairs_minority_to_partner_value(self, dc):
+        ds = Dataset(Schema(["Zip", "City"]), [
+            ["1", "Chicago"], ["1", "Chicago"], ["1", "Chicago"],
+            ["1", "Cicago"],
+        ])
+        result = HolisticRepair([dc]).run(ds)
+        assert result.repairs == {Cell(3, "City"): "Chicago"}
+        assert result.repaired.value(3, "City") == "Chicago"
+
+    def test_no_violations_no_repairs(self, dc):
+        ds = Dataset(Schema(["Zip", "City"]), [["1", "A"], ["2", "B"]])
+        result = HolisticRepair([dc]).run(ds)
+        assert not result.repairs
+
+    def test_input_not_mutated(self, dc):
+        ds = Dataset(Schema(["Zip", "City"]),
+                     [["1", "A"], ["1", "A"], ["1", "B"]])
+        before = ds.copy()
+        HolisticRepair([dc]).run(ds)
+        assert ds == before
+
+
+class TestContradictoryDemands:
+    def test_fresh_value_on_conflict(self, dc):
+        # Three distinct cities under one zip: every cell faces two
+        # different demands → fresh values, never the truth.
+        ds = Dataset(Schema(["Zip", "City"]), [
+            ["1", "A"], ["1", "B"], ["1", "C"],
+        ])
+        result = HolisticRepair([dc]).run(ds)
+        assert result.repairs
+        assert all(v.startswith("__fresh_") for v in result.repairs.values())
+
+    def test_fresh_values_disabled(self, dc):
+        ds = Dataset(Schema(["Zip", "City"]), [
+            ["1", "A"], ["1", "B"], ["1", "C"],
+        ])
+        result = HolisticRepair([dc], use_fresh_values=False).run(ds)
+        assert all(not v.startswith("__fresh_")
+                   for v in result.repairs.values())
+
+    def test_flights_like_data_zero_correct(self, dc):
+        rows = []
+        for z in range(5):
+            rows += [[str(z), "T"]] * 3 + [[str(z), "A"]] * 2 + [[str(z), "B"]]
+        ds = Dataset(Schema(["Zip", "City"]), rows)
+        result = HolisticRepair([dc]).run(ds)
+        # All repair contexts are contradictory: only fresh values.
+        correct = [c for c, v in result.repairs.items() if v == "T"]
+        assert not correct
+
+
+class TestRounds:
+    def test_terminates_on_max_rounds(self, dc):
+        ds = Dataset(Schema(["Zip", "City"]), [
+            ["1", "A"], ["1", "B"], ["1", "C"],
+        ])
+        result = HolisticRepair([dc], max_rounds=2).run(ds)
+        assert result.runtime >= 0  # completes without hanging
+
+    def test_multi_constraint(self):
+        dcs = (parse_fd("Zip -> City").to_denial_constraints()
+               + parse_fd("Zip -> State").to_denial_constraints())
+        ds = Dataset(Schema(["Zip", "City", "State"]), [
+            ["1", "Chicago", "IL"], ["1", "Chicago", "IL"],
+            ["1", "Chicago", "XX"],
+        ])
+        result = HolisticRepair(dcs).run(ds)
+        assert result.repairs.get(Cell(2, "State")) == "IL"

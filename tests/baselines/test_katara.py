@@ -1,0 +1,75 @@
+"""Tests for the KATARA baseline (KB-powered repairs)."""
+
+import pytest
+
+from repro.baselines.katara import KataraRepair
+from repro.constraints.matching import MatchingDependency, MatchPredicate
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.external.dictionary import ExternalDictionary
+
+
+@pytest.fixture
+def dictionary():
+    return ExternalDictionary("kb", ["Ext_Zip", "Ext_City"], [
+        {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+        {"Ext_Zip": "02134", "Ext_City": "Boston"},
+    ])
+
+
+@pytest.fixture
+def md():
+    return MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                              "City", "Ext_City")
+
+
+class TestRepairs:
+    def test_repairs_to_kb_value(self, dictionary, md):
+        ds = Dataset(Schema(["Zip", "City"]),
+                     [["60608", "Cicago"], ["02134", "Boston"]])
+        result = KataraRepair(dictionary, [md]).run(ds)
+        assert result.repairs == {Cell(0, "City"): "Chicago"}
+
+    def test_no_coverage_no_repairs(self, dictionary, md):
+        ds = Dataset(Schema(["Zip", "City"]), [["99999", "Somewhere"]])
+        result = KataraRepair(dictionary, [md]).run(ds)
+        assert not result.repairs
+
+    def test_format_mismatch_failure_mode(self, dictionary, md):
+        # ZIP+4 values never match the KB's 5-digit zips — the paper's
+        # Physicians footnote: "KATARA performs no repairs due to format
+        # mismatch for zip code".
+        ds = Dataset(Schema(["Zip", "City"]), [["60608-1234", "Cicago"]])
+        result = KataraRepair(dictionary, [md]).run(ds)
+        assert not result.repairs
+
+    def test_agreeing_cells_untouched(self, dictionary, md):
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Chicago"]])
+        result = KataraRepair(dictionary, [md]).run(ds)
+        assert not result.repairs
+
+
+class TestAbstention:
+    def test_ambiguous_kb_evidence(self, md):
+        conflicted = ExternalDictionary("kb", ["Ext_Zip", "Ext_City"], [
+            {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+            {"Ext_Zip": "60608", "Ext_City": "Cicero"},
+        ])
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Wrong"]])
+        result = KataraRepair(conflicted, [md]).run(ds)
+        assert not result.repairs  # 1:1 support ratio → abstain
+
+    def test_dominant_kb_value_wins(self, md):
+        dominant = ExternalDictionary("kb", ["Ext_Zip", "Ext_City"], [
+            {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+            {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+            {"Ext_Zip": "60608", "Ext_City": "Cicero"},
+        ])
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Wrong"]])
+        result = KataraRepair(dominant, [md], ambiguity_ratio=2.0).run(ds)
+        assert result.repairs == {Cell(0, "City"): "Chicago"}
+
+    def test_min_support(self, dictionary, md):
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Wrong"]])
+        result = KataraRepair(dictionary, [md], min_support=5).run(ds)
+        assert not result.repairs

@@ -1,0 +1,77 @@
+"""Tests for the SCARE baseline (dependency-aware maximal likelihood)."""
+
+import pytest
+
+from repro.baselines.base import MethodTimeout
+from repro.baselines.scare import ScareRepair
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.dataset.stats import Statistics
+
+
+@pytest.fixture
+def duplicated_data():
+    """Many duplicates of (code → name) plus one typo'd name."""
+    schema = Schema(["Code", "Name", "Junk"])
+    rows = []
+    for i in range(30):
+        rows.append(["C1", "Alpha", f"j{i % 4}"])
+        rows.append(["C2", "Beta", f"j{i % 3}"])
+    rows.append(["C1", "Alphx", "j0"])  # typo
+    return Dataset(schema, rows)
+
+
+class TestRepairs:
+    def test_repairs_duplicate_supported_typo(self, duplicated_data):
+        scare = ScareRepair(sample_fraction=1.0, min_log_gain=1.0)
+        result = scare.run(duplicated_data)
+        assert result.repairs.get(Cell(60, "Name")) == "Alpha"
+
+    def test_clean_cells_untouched(self, duplicated_data):
+        scare = ScareRepair(sample_fraction=1.0)
+        result = scare.run(duplicated_data)
+        wrong = [c for c in result.repairs
+                 if duplicated_data.cell_value(c) in ("Alpha", "Beta")]
+        assert not wrong
+
+    def test_bounded_changes_per_tuple(self):
+        schema = Schema(["A", "B", "C", "D"])
+        rows = [["k", "x", "y", "z"]] * 20
+        rows.append(["k", "q1", "q2", "q3"])  # three errors in one tuple
+        ds = Dataset(schema, rows)
+        scare = ScareRepair(sample_fraction=1.0, min_log_gain=0.5,
+                            max_changes_per_tuple=2)
+        result = scare.run(ds)
+        assert sum(1 for c in result.repairs if c.tid == 20) <= 2
+
+    def test_abstains_when_observed_outside_block(self, duplicated_data):
+        # With a tiny learning block, unseen observed values are skipped
+        # rather than repaired blindly.
+        scare = ScareRepair(sample_fraction=0.05, seed=1)
+        result = scare.run(duplicated_data)
+        for cell, value in result.repairs.items():
+            assert value is not None
+
+
+class TestDependencyWeights:
+    def test_uncertainty_coefficient_ranges(self, duplicated_data):
+        scare = ScareRepair(sample_fraction=1.0)
+        stats = Statistics(duplicated_data)
+        u_informative = scare._uncertainty(stats, "Name", "Code")
+        u_junk = scare._uncertainty(stats, "Name", "Junk")
+        assert 0.0 <= u_junk <= u_informative <= 1.0
+        assert u_informative > 0.9  # Code determines Name
+        assert u_junk < 0.2
+
+    def test_constant_attribute_zero_information(self):
+        ds = Dataset(Schema(["A", "B"]), [["x", "c"], ["y", "c"]])
+        scare = ScareRepair(sample_fraction=1.0)
+        stats = Statistics(ds)
+        assert scare._uncertainty(stats, "B", "A") == 0.0
+
+
+class TestTimeout:
+    def test_time_budget_raises(self, duplicated_data):
+        scare = ScareRepair(time_budget=0.0)
+        with pytest.raises(MethodTimeout):
+            scare.run(duplicated_data)

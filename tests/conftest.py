@@ -1,0 +1,66 @@
+"""Shared fixtures: small crafted datasets used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.fd import parse_fd
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Attribute, Schema
+
+
+@pytest.fixture
+def address_schema() -> Schema:
+    """The Figure 1 schema from the paper."""
+    return Schema(["DBAName", "AKAName", "Address", "City", "State", "Zip"])
+
+
+@pytest.fixture
+def figure1_dataset(address_schema) -> Dataset:
+    """The paper's running example (Figure 1A) plus clean context rows.
+
+    t0 has a wrong zip (60609, should be 60608) and t3 has a misspelled
+    city ("Cicago"); extra duplicate rows provide the statistical signal
+    the example's discussion relies on.
+    """
+    rows = [
+        ["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60609"],
+        ["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60608"],
+        ["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60608"],
+        ["Johnnyo's", "Johnnyo's", "3465 S Morgan ST", "Cicago", "IL", "60608"],
+    ]
+    for _ in range(12):
+        rows.append(["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST",
+                     "Chicago", "IL", "60608"])
+        rows.append(["Taco Place", "Taco's", "100 W Lake ST",
+                     "Chicago", "IL", "60601"])
+    return Dataset(address_schema, rows, name="figure1")
+
+
+@pytest.fixture
+def figure1_constraints():
+    """The three FDs of Figure 1(B), compiled to denial constraints."""
+    fds = [parse_fd("DBAName -> Zip"), parse_fd("Zip -> City,State"),
+           parse_fd("City,State,Address -> Zip")]
+    return [dc for fd in fds for dc in fd.to_denial_constraints()]
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """A 4-row, 3-attribute dataset for unit-level assertions."""
+    schema = Schema(["A", "B", "C"])
+    return Dataset(schema, [
+        ["a1", "b1", "c1"],
+        ["a1", "b1", "c2"],
+        ["a2", "b2", "c1"],
+        ["a2", "b3", None],
+    ], name="tiny")
+
+
+@pytest.fixture
+def sourced_schema() -> Schema:
+    return Schema([
+        Attribute("Source", role="source"),
+        Attribute("Flight"),
+        Attribute("Dep"),
+    ])

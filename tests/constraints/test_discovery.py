@@ -1,0 +1,96 @@
+"""Tests for approximate FD discovery."""
+
+import pytest
+
+from repro.constraints.discovery import discover_fds, discovered_to_constraints
+from repro.data import generate_hospital
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def zip_city_data():
+    schema = Schema(["Zip", "City", "Noise"])
+    rows = []
+    for i in range(30):
+        zipcode = f"z{i % 5}"
+        city = f"city{i % 5}"
+        rows.append([zipcode, city, f"n{i}"])
+    # One dirty cell: the FD Zip -> City holds at ~97% confidence.
+    rows.append(["z0", "WRONG", "x"])
+    return Dataset(schema, rows)
+
+
+class TestDiscoverFds:
+    def test_finds_approximate_fd(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.9, min_support=10)
+        as_text = [str(d.fd) for d in discovered]
+        assert "Zip -> City" in as_text
+        hit = next(d for d in discovered if str(d.fd) == "Zip -> City")
+        assert hit.violations == 1
+        assert hit.confidence == pytest.approx(30 / 31)
+
+    def test_exact_fd_has_confidence_one(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.99, min_support=10)
+        city_zip = [d for d in discovered if str(d.fd) == "City -> Zip"]
+        assert city_zip and city_zip[0].confidence == 1.0
+
+    def test_key_like_lhs_filtered(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.5, min_support=10)
+        assert not any("Noise ->" in str(d.fd) for d in discovered)
+
+    def test_min_support(self, zip_city_data):
+        assert discover_fds(zip_city_data, min_support=10_000) == []
+
+    def test_minimality_suppresses_superset_lhs(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=2,
+                                  min_confidence=0.9, min_support=10)
+        # City -> Zip holds, so {City, X} -> Zip must not be reported.
+        assert not any(len(d.fd.lhs) == 2 and "Zip" in d.fd.rhs
+                       and "City" in d.fd.lhs for d in discovered)
+
+    def test_sorted_by_confidence(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.5, min_support=10)
+        confidences = [d.confidence for d in discovered]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_str(self, zip_city_data):
+        (first, *_rest) = discover_fds(zip_city_data, max_lhs=1,
+                                       min_confidence=0.9, min_support=10)
+        assert "confidence" in str(first)
+
+
+class TestOnGeneratedData:
+    def test_recovers_hospital_dependencies(self):
+        g = generate_hospital(num_rows=300)
+        discovered = discover_fds(g.dirty, max_lhs=1, min_confidence=0.9,
+                                  min_support=50)
+        as_text = {str(d.fd) for d in discovered}
+        # The generator's ground-truth FDs should surface despite the noise.
+        assert "ZipCode -> City" in as_text
+        assert "MeasureCode -> MeasureName" in as_text
+
+    def test_compiles_to_constraints(self, zip_city_data):
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.9, min_support=10)
+        constraints = discovered_to_constraints(discovered)
+        assert constraints
+        assert all(len(dc.predicates) >= 2 for dc in constraints)
+
+    def test_discovered_constraints_drive_repairs(self, zip_city_data):
+        """End to end: profile, compile, repair — no hand-written DCs."""
+        from repro.core.config import HoloCleanConfig
+        from repro.core.pipeline import HoloClean
+        discovered = discover_fds(zip_city_data, max_lhs=1,
+                                  min_confidence=0.9, min_support=10)
+        constraints = discovered_to_constraints(discovered)
+        result = HoloClean(HoloCleanConfig(tau=0.3, epochs=30, seed=1)).repair(
+            zip_city_data, constraints)
+        from repro.dataset.dataset import Cell
+        repair = result.inferences.get(Cell(30, "City"))
+        assert repair is not None
+        assert repair.chosen_value == "city0"

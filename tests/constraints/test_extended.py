@@ -1,0 +1,118 @@
+"""Tests for conditional and metric functional dependencies (§3.1)."""
+
+import pytest
+
+from repro.constraints.extended import (
+    ConditionalFunctionalDependency,
+    MetricFunctionalDependency,
+)
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.detect.violations import ViolationDetector
+
+
+class TestVariableCfd:
+    @pytest.fixture
+    def cfd(self):
+        return ConditionalFunctionalDependency(
+            ("Country", "Zip"), "Street", pattern={"Country": "UK"})
+
+    def test_holds_only_inside_pattern(self, cfd):
+        ds = Dataset(Schema(["Country", "Zip", "Street"]), [
+            ["UK", "EC1", "High St"],
+            ["UK", "EC1", "Low St"],    # violates: UK pattern matched
+            ["US", "EC1", "Main St"],
+            ["US", "EC1", "Other St"],  # no violation: outside pattern
+        ])
+        (dc,) = cfd.to_denial_constraints()
+        detection = ViolationDetector([dc]).detect(ds)
+        assert {frozenset(v.tids) for v in detection.hypergraph.violations} \
+            == {frozenset({0, 1})}
+
+    def test_pattern_must_bind_lhs(self):
+        with pytest.raises(ValueError, match="outside the LHS"):
+            ConditionalFunctionalDependency(("A",), "B", pattern={"C": "x"})
+
+    def test_rhs_not_in_lhs(self):
+        with pytest.raises(ValueError, match="RHS"):
+            ConditionalFunctionalDependency(("A", "B"), "A")
+
+    def test_str(self, cfd):
+        assert "Country='UK'" in str(cfd)
+
+
+class TestConstantCfd:
+    def test_single_tuple_constraint(self):
+        cfd = ConditionalFunctionalDependency(
+            ("Zip",), "City", pattern={"Zip": "60608"},
+            rhs_constant="Chicago")
+        (dc,) = cfd.to_denial_constraints()
+        assert dc.is_single_tuple
+        ds = Dataset(Schema(["Zip", "City"]), [
+            ["60608", "Chicago"],
+            ["60608", "Cicago"],   # violates the constant binding
+            ["60609", "Anything"],
+        ])
+        detection = ViolationDetector([dc]).detect(ds)
+        assert {c.tid for c in detection.noisy_cells} == {1}
+
+    def test_repairs_through_pipeline(self):
+        from repro.core.config import HoloCleanConfig
+        from repro.core.pipeline import HoloClean
+        cfd = ConditionalFunctionalDependency(
+            ("Zip",), "City", pattern={"Zip": "60608"},
+            rhs_constant="Chicago")
+        rows = [["60608", "Chicago"]] * 8 + [["60608", "Cicago"]]
+        ds = Dataset(Schema(["Zip", "City"]), rows)
+        result = HoloClean(HoloCleanConfig(tau=0.3, epochs=30, seed=1)).repair(
+            ds, cfd.to_denial_constraints())
+        assert result.inferences[Cell(8, "City")].chosen_value == "Chicago"
+
+
+class TestMetricFd:
+    def test_tolerates_similar_values(self):
+        mfd = MetricFunctionalDependency(("Flight",), "Gate", threshold=0.75)
+        (dc,) = mfd.to_denial_constraints()
+        ds = Dataset(Schema(["Flight", "Gate"]), [
+            ["F1", "GATE-12A"],
+            ["F1", "GATE-12B"],    # similar: no violation
+            ["F2", "GATE-1"],
+            ["F2", "TERMINAL-9"],  # dissimilar: violation
+        ])
+        detection = ViolationDetector([dc]).detect(ds)
+        assert {frozenset(v.tids) for v in detection.hypergraph.violations} \
+            == {frozenset({2, 3})}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            MetricFunctionalDependency(("A",), "B", threshold=0.0)
+
+    def test_exact_fd_is_the_limit_case(self):
+        """At threshold 1.0 the metric FD behaves like an exact FD."""
+        mfd = MetricFunctionalDependency(("K",), "V", threshold=1.0)
+        (dc,) = mfd.to_denial_constraints()
+        ds = Dataset(Schema(["K", "V"]), [["k", "abc"], ["k", "abd"]])
+        detection = ViolationDetector([dc]).detect(ds)
+        assert len(detection.hypergraph) == 1
+
+    def test_nsim_roundtrips_through_parser(self):
+        from repro.constraints.parser import format_dc, parse_dc
+        mfd = MetricFunctionalDependency(("K",), "V")
+        (dc,) = mfd.to_denial_constraints()
+        assert format_dc(parse_dc(format_dc(dc))) == format_dc(dc)
+        assert "NSIM" in format_dc(dc)
+
+
+class TestNsimOperator:
+    def test_negation_pairs(self):
+        from repro.constraints.predicates import Operator
+        assert Operator.SIM.negated is Operator.NSIM
+        assert Operator.NSIM.negated is Operator.SIM
+
+    def test_nsim_evaluation(self):
+        from repro.constraints.predicates import Operator, Predicate, TupleRef
+        p = Predicate(TupleRef(1, "A"), Operator.NSIM, TupleRef(2, "A"),
+                      sim_threshold=0.8)
+        assert p.evaluate({"A": "Chicago"}, {"A": "Boston"})
+        assert not p.evaluate({"A": "Chicago"}, {"A": "Cicago"})
+        assert not p.evaluate({"A": None}, {"A": "Boston"})  # NULL blocks

@@ -1,0 +1,57 @@
+"""Tests for functional dependencies → denial constraints (Example 2)."""
+
+import pytest
+
+from repro.constraints.fd import FunctionalDependency, parse_fd
+from repro.constraints.predicates import Operator
+
+
+class TestFunctionalDependency:
+    def test_example2_conversion(self):
+        fd = FunctionalDependency(["Zip"], ["City", "State"])
+        dcs = fd.to_denial_constraints()
+        assert len(dcs) == 2
+        for dc, target in zip(dcs, ["City", "State"]):
+            assert len(dc.predicates) == 2
+            join, neq = dc.predicates
+            assert join.op is Operator.EQ and join.left.attribute == "Zip"
+            assert neq.op is Operator.NEQ and neq.left.attribute == target
+
+    def test_composite_lhs(self):
+        fd = FunctionalDependency(["City", "State", "Address"], ["Zip"])
+        (dc,) = fd.to_denial_constraints()
+        assert len(dc.equijoin_predicates) == 3
+        assert len(dc.residual_predicates) == 1
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency([], ["A"])
+        with pytest.raises(ValueError):
+            FunctionalDependency(["A"], [])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both sides"):
+            FunctionalDependency(["A"], ["A", "B"])
+
+    def test_str(self):
+        assert str(FunctionalDependency(["Zip"], ["City"])) == "Zip -> City"
+
+
+class TestParseFd:
+    def test_simple(self):
+        fd = parse_fd("Zip -> City,State")
+        assert fd.lhs == ("Zip",)
+        assert fd.rhs == ("City", "State")
+
+    def test_whitespace_tolerant(self):
+        fd = parse_fd("  City , State ->  Zip ")
+        assert fd.lhs == ("City", "State")
+        assert fd.rhs == ("Zip",)
+
+    def test_missing_arrow(self):
+        with pytest.raises(ValueError, match="->"):
+            parse_fd("Zip City")
+
+    def test_constraint_names_are_distinct(self):
+        dcs = parse_fd("Zip -> City,State").to_denial_constraints()
+        assert len({dc.name for dc in dcs}) == 2

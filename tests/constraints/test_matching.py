@@ -1,0 +1,52 @@
+"""Tests for matching dependencies (Figure 1C semantics)."""
+
+import pytest
+
+from repro.constraints.matching import MatchingDependency, MatchPredicate
+
+
+class TestMatchPredicate:
+    def test_exact_match(self):
+        p = MatchPredicate("Zip", "Ext_Zip")
+        assert p.matches("60608", "60608")
+        assert not p.matches("60608", "60609")
+
+    def test_fuzzy_match(self):
+        p = MatchPredicate("City", "Ext_City", fuzzy=True)
+        assert p.matches("Cicago", "Chicago")
+        assert not p.matches("Boston", "Chicago")
+
+    def test_null_never_matches(self):
+        p = MatchPredicate("Zip", "Ext_Zip")
+        assert not p.matches(None, "60608")
+        assert not p.matches("60608", None)
+
+    def test_str_shows_operator(self):
+        assert "≈" in str(MatchPredicate("City", "Ext_City", fuzzy=True))
+        assert "=" in str(MatchPredicate("Zip", "Ext_Zip"))
+
+
+class TestMatchingDependency:
+    def test_needs_match_predicates(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MatchingDependency([], "City", "Ext_City")
+
+    def test_entry_matches_all_predicates(self):
+        md = MatchingDependency(
+            [MatchPredicate("City", "Ext_City"),
+             MatchPredicate("State", "Ext_State")],
+            "Zip", "Ext_Zip")
+        entry = {"Ext_City": "Chicago", "Ext_State": "IL", "Ext_Zip": "60608"}
+        assert md.entry_matches({"City": "Chicago", "State": "IL"}, entry)
+        assert not md.entry_matches({"City": "Chicago", "State": "MA"}, entry)
+
+    def test_m1_from_paper(self):
+        m1 = MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                                "City", "Ext_City", name="m1")
+        assert m1.entry_matches({"Zip": "60608"},
+                                {"Ext_Zip": "60608", "Ext_City": "Chicago"})
+
+    def test_str(self):
+        md = MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                                "City", "Ext_City")
+        assert "→" in str(md)

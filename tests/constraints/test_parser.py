@@ -1,0 +1,101 @@
+"""Tests for the textual denial-constraint format."""
+
+import pytest
+
+from repro.constraints.parser import DCParseError, format_dc, parse_dc, parse_dcs
+from repro.constraints.predicates import Const, Operator, TupleRef
+
+
+class TestParse:
+    def test_fd_style(self):
+        dc = parse_dc("t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)")
+        assert len(dc.predicates) == 2
+        assert dc.predicates[0].op is Operator.EQ
+        assert dc.predicates[1].op is Operator.NEQ
+        assert not dc.is_single_tuple
+
+    def test_all_operators(self):
+        text = ("t1&t2&EQ(t1.A,t2.A)&IQ(t1.B,t2.B)&LT(t1.C,t2.C)"
+                "&GT(t1.D,t2.D)&LTE(t1.E,t2.E)&GTE(t1.F,t2.F)&SIM(t1.G,t2.G)")
+        dc = parse_dc(text)
+        ops = [p.op for p in dc.predicates]
+        assert ops == [Operator.EQ, Operator.NEQ, Operator.LT, Operator.GT,
+                       Operator.LTE, Operator.GTE, Operator.SIM]
+
+    def test_quoted_constant(self):
+        dc = parse_dc('t1&EQ(t1.State,"IL")')
+        assert dc.predicates[0].right == Const("IL")
+        assert dc.is_single_tuple
+
+    def test_bare_constant(self):
+        dc = parse_dc("t1&EQ(t1.State,IL)")
+        assert dc.predicates[0].right == Const("IL")
+
+    def test_constant_with_comma_inside_quotes(self):
+        dc = parse_dc('t1&EQ(t1.City,"Chicago, IL")')
+        assert dc.predicates[0].right == Const("Chicago, IL")
+
+    def test_constant_first_is_flipped(self):
+        dc = parse_dc('t1&LT("5",t1.Age)')
+        p = dc.predicates[0]
+        assert isinstance(p.left, TupleRef)
+        assert p.op is Operator.GT  # 5 < Age became Age > 5
+        assert p.right == Const("5")
+
+    def test_attribute_with_dots(self):
+        dc = parse_dc("t1&t2&EQ(t1.a.b,t2.a.b)")
+        assert dc.predicates[0].left.attribute == "a.b"
+
+    def test_sim_threshold_propagated(self):
+        dc = parse_dc("t1&t2&SIM(t1.A,t2.A)", sim_threshold=0.5)
+        assert dc.predicates[0].sim_threshold == 0.5
+
+
+class TestParseErrors:
+    def test_empty(self):
+        with pytest.raises(DCParseError):
+            parse_dc("")
+
+    def test_no_predicates(self):
+        with pytest.raises(DCParseError, match="no predicates"):
+            parse_dc("t1&t2")
+
+    def test_unknown_operator(self):
+        with pytest.raises(DCParseError, match="unknown operator"):
+            parse_dc("t1&t2&XX(t1.A,t2.A)")
+
+    def test_malformed_predicate(self):
+        with pytest.raises(DCParseError, match="malformed"):
+            parse_dc("t1&t2&EQ[t1.A,t2.A]")
+
+    def test_one_operand(self):
+        with pytest.raises(DCParseError, match="two operands"):
+            parse_dc("t1&EQ(t1.A)")
+
+    def test_two_constants(self):
+        with pytest.raises(DCParseError, match="tuple attribute"):
+            parse_dc('t1&EQ("a","b")')
+
+
+class TestParseMany:
+    def test_skips_comments_and_blanks(self):
+        dcs = parse_dcs([
+            "# a comment",
+            "",
+            "t1&t2&EQ(t1.A,t2.A)&IQ(t1.B,t2.B)",
+            "t1&t2&EQ(t1.C,t2.C)&IQ(t1.D,t2.D)",
+        ])
+        assert len(dcs) == 2
+        assert dcs[0].name == "dc0"
+        assert dcs[1].name == "dc1"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)",
+        't1&EQ(t1.State,"IL")',
+        "t1&t2&EQ(t1.A,t2.A)&LT(t1.B,t2.B)&SIM(t1.C,t2.C)",
+    ])
+    def test_format_then_parse(self, text):
+        dc = parse_dc(text)
+        assert format_dc(parse_dc(format_dc(dc))) == format_dc(dc)

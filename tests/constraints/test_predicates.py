@@ -1,0 +1,97 @@
+"""Tests for denial-constraint predicates."""
+
+import pytest
+
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+
+
+def pred(op, right=None):
+    return Predicate(TupleRef(1, "A"), op, right or TupleRef(2, "A"))
+
+
+class TestTupleRef:
+    def test_valid_indices(self):
+        assert TupleRef(1, "A").tuple_index == 1
+        assert TupleRef(2, "A").tuple_index == 2
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError, match="1 or 2"):
+            TupleRef(3, "A")
+
+    def test_str(self):
+        assert str(TupleRef(1, "City")) == "t1.City"
+        assert str(Const("IL")) == '"IL"'
+
+
+class TestEvaluation:
+    def test_eq(self):
+        assert pred(Operator.EQ).evaluate({"A": "x"}, {"A": "x"})
+        assert not pred(Operator.EQ).evaluate({"A": "x"}, {"A": "y"})
+
+    def test_neq(self):
+        assert pred(Operator.NEQ).evaluate({"A": "x"}, {"A": "y"})
+
+    def test_numeric_comparison(self):
+        assert pred(Operator.LT).evaluate({"A": "9"}, {"A": "10"})
+        assert pred(Operator.GT).evaluate({"A": "10"}, {"A": "9"})
+
+    def test_lexicographic_fallback(self):
+        # "10" < "9" lexicographically, but "9x" forces string comparison.
+        assert pred(Operator.LT).evaluate({"A": "10x"}, {"A": "9x"})
+
+    def test_lte_gte(self):
+        assert pred(Operator.LTE).evaluate({"A": "5"}, {"A": "5"})
+        assert pred(Operator.GTE).evaluate({"A": "5"}, {"A": "5"})
+
+    def test_similarity_operator(self):
+        p = Predicate(TupleRef(1, "A"), Operator.SIM, TupleRef(2, "A"),
+                      sim_threshold=0.8)
+        assert p.evaluate({"A": "Chicago"}, {"A": "Cicago"})
+        assert not p.evaluate({"A": "Chicago"}, {"A": "Boston"})
+
+    def test_constant_operand(self):
+        p = Predicate(TupleRef(1, "State"), Operator.EQ, Const("IL"))
+        assert p.evaluate({"State": "IL"})
+        assert not p.evaluate({"State": "MA"})
+
+    def test_null_never_fires(self):
+        assert not pred(Operator.EQ).evaluate({"A": None}, {"A": None})
+        assert not pred(Operator.NEQ).evaluate({"A": None}, {"A": "x"})
+
+    def test_missing_second_tuple_raises(self):
+        with pytest.raises(ValueError, match="no second tuple"):
+            pred(Operator.EQ).evaluate({"A": "x"})
+
+    def test_same_tuple_reference(self):
+        p = Predicate(TupleRef(1, "A"), Operator.NEQ, TupleRef(1, "B"))
+        assert p.evaluate({"A": "x", "B": "y"})
+
+
+class TestStructure:
+    def test_is_binary(self):
+        assert pred(Operator.EQ).is_binary
+        p_const = Predicate(TupleRef(1, "A"), Operator.EQ, Const("x"))
+        assert not p_const.is_binary
+        p_same = Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(1, "B"))
+        assert not p_same.is_binary
+
+    def test_is_equijoin(self):
+        assert pred(Operator.EQ).is_equijoin
+        assert not pred(Operator.NEQ).is_equijoin
+
+    def test_attributes(self):
+        p = Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "B"))
+        assert p.attributes == {"A", "B"}
+
+    def test_attributes_of_position(self):
+        p = Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "B"))
+        assert p.attributes_of(1) == {"A"}
+        assert p.attributes_of(2) == {"B"}
+
+    def test_negated_operators(self):
+        assert Operator.EQ.negated is Operator.NEQ
+        assert Operator.LT.negated is Operator.GTE
+        assert Operator.GTE.negated is Operator.LT
+
+    def test_str(self):
+        assert str(pred(Operator.EQ)) == "t1.A = t2.A"

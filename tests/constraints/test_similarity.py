@@ -1,0 +1,93 @@
+"""Tests for the string-similarity library behind the ≈ operator."""
+
+import pytest
+
+from repro.constraints.similarity import (
+    jaccard,
+    levenshtein,
+    normalized_similarity,
+    similar,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_vs_nonempty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_insertion_deletion(self):
+        assert levenshtein("abc", "abxc") == 1
+        assert levenshtein("abxc", "abc") == 1
+
+    def test_symmetric(self):
+        assert levenshtein("chicago", "cicago") == levenshtein("cicago", "chicago")
+
+    def test_early_exit_returns_bound_plus_one(self):
+        assert levenshtein("aaaa", "zzzz", max_distance=1) == 2
+
+    def test_early_exit_length_gap(self):
+        assert levenshtein("a", "aaaaaa", max_distance=2) == 3
+
+    def test_early_exit_does_not_change_small_distances(self):
+        assert levenshtein("abc", "abd", max_distance=5) == 1
+
+
+class TestNormalizedSimilarity:
+    def test_identical(self):
+        assert normalized_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert normalized_similarity("abc", "xyz") == 0.0
+
+    def test_both_empty(self):
+        assert normalized_similarity("", "") == 1.0
+
+    def test_paper_example(self):
+        # "Cicago" vs "Chicago": one insertion over 7 chars.
+        assert normalized_similarity("Cicago", "Chicago") == pytest.approx(6 / 7)
+
+
+class TestJaccard:
+    def test_identical_tokens(self):
+        assert jaccard("a b c", "c b a") == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard("a b", "b c") == pytest.approx(1 / 3)
+
+    def test_empty_both(self):
+        assert jaccard("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaccard("a", "") == 0.0
+
+
+class TestSimilar:
+    def test_exact_match(self):
+        assert similar("abc", "abc")
+
+    def test_null_similar_to_nothing(self):
+        assert not similar(None, "abc")
+        assert not similar("abc", None)
+        assert not similar(None, None)
+
+    def test_paper_city_match(self):
+        assert similar("Cicago", "Chicago", threshold=0.8)
+
+    def test_threshold_rejects_distant(self):
+        assert not similar("Chicago", "Boston", threshold=0.8)
+
+    def test_threshold_one_requires_exact(self):
+        assert not similar("abc", "abd", threshold=1.0)
+        assert similar("abc", "abc", threshold=1.0)
+
+    def test_length_gap_short_circuit(self):
+        assert not similar("ab", "abcdefghij", threshold=0.9)

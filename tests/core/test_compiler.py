@@ -1,0 +1,123 @@
+"""Tests for the compilation module (variables, evidence, factors)."""
+
+import pytest
+
+from repro.core.compiler import ModelCompiler
+from repro.core.config import HoloCleanConfig
+from repro.dataset.dataset import Cell
+from repro.detect.violations import ViolationDetector
+
+
+@pytest.fixture
+def compiled(figure1_dataset, figure1_constraints):
+    config = HoloCleanConfig(tau=0.3, seed=1)
+    detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+    compiler = ModelCompiler(figure1_dataset, figure1_constraints, config,
+                             detection)
+    return compiler.compile(), detection
+
+
+class TestVariables:
+    def test_query_vars_cover_noisy_cells(self, compiled):
+        model, detection = compiled
+        query_cells = {model.graph.variables[v].cell for v in model.query_ids}
+        repairable_noisy = {c for c in detection.noisy_cells}
+        assert query_cells == repairable_noisy
+
+    def test_query_domains_contain_init(self, compiled, figure1_dataset):
+        model, _ = compiled
+        for vid in model.query_ids:
+            info = model.graph.variables[vid]
+            init = figure1_dataset.cell_value(info.cell)
+            if init is not None:
+                assert init in info.domain
+
+    def test_evidence_has_valid_labels(self, compiled):
+        model, _ = compiled
+        for vid, label in zip(model.evidence_ids, model.evidence_labels):
+            info = model.graph.variables[vid]
+            assert 0 <= label < info.domain_size
+
+    def test_evidence_excludes_noisy_cells(self, compiled, figure1_dataset):
+        model, detection = compiled
+        # Weak-label ids (query vars reused for training) are allowed;
+        # genuine evidence variables must be clean cells.
+        for vid in model.evidence_ids:
+            info = model.graph.variables[vid]
+            if info.is_evidence:
+                assert info.cell not in detection.noisy_cells
+
+
+class TestEvidenceSampling:
+    def test_max_training_cells_cap(self, figure1_dataset, figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, max_training_cells=10, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        model = ModelCompiler(figure1_dataset, figure1_constraints, config,
+                              detection).compile()
+        true_evidence = [v for v in model.evidence_ids
+                         if model.graph.variables[v].is_evidence]
+        assert len(true_evidence) <= 10
+
+    def test_evidence_negatives_extend_domains(self, figure1_dataset,
+                                               figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, evidence_negatives=2, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        model = ModelCompiler(figure1_dataset, figure1_constraints, config,
+                              detection).compile()
+        sizes = [model.graph.variables[v].domain_size
+                 for v in model.evidence_ids
+                 if model.graph.variables[v].is_evidence]
+        assert sizes and all(s >= 2 for s in sizes)
+
+
+class TestFactors:
+    def test_no_factors_for_dc_feats(self, compiled):
+        model, _ = compiled
+        assert model.graph.factors == []
+
+    def test_factors_grounded_for_dc_factors(self, figure1_dataset,
+                                             figure1_constraints):
+        config = HoloCleanConfig.variant("dc-factors", tau=0.3, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        model = ModelCompiler(figure1_dataset, figure1_constraints, config,
+                              detection).compile()
+        assert len(model.graph.factors) > 0
+        for factor in model.graph.factors:
+            # Factors span only query variables.
+            for vid in factor.var_ids:
+                assert not model.graph.variables[vid].is_evidence
+            # Tables are non-constant (constant factors are dropped).
+            assert (factor.table == -1).any()
+            assert (factor.table == 1).any()
+
+    def test_partitioning_grounds_fewer_or_equal_factors(
+            self, figure1_dataset, figure1_constraints):
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        counts = {}
+        for name in ("dc-factors", "dc-factors+partitioning"):
+            config = HoloCleanConfig.variant(name, tau=0.3, seed=1)
+            model = ModelCompiler(figure1_dataset, figure1_constraints,
+                                  config, detection).compile()
+            counts[name] = len(model.graph.factors)
+        assert counts["dc-factors+partitioning"] <= counts["dc-factors"]
+
+
+class TestProgramAndReport:
+    def test_ddlog_program_present(self, compiled):
+        model, _ = compiled
+        text = "\n".join(model.ddlog_program)
+        assert "Value?(t, a, d) :- Domain(t, a, d)" in text
+        assert "!Value?" in text  # relaxed rules for dc-feats
+
+    def test_size_report_keys(self, compiled):
+        model, _ = compiled
+        report = model.size_report()
+        for key in ("variables", "query_variables", "feature_entries",
+                    "weights", "constraint_factors", "skipped_factors"):
+            assert key in report
+
+    def test_minimality_weight_pinned(self, compiled):
+        model, _ = compiled
+        fixed = model.graph.space.fixed_weights
+        idx = model.graph.space.get(("minimality",))
+        assert idx is not None and idx in fixed

@@ -1,0 +1,81 @@
+"""Tests for HoloCleanConfig and the Figure 5 variant presets."""
+
+import pytest
+
+from repro.core.config import VARIANTS, HoloCleanConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = HoloCleanConfig()
+        assert config.tau == 0.5
+        assert config.use_dc_feats and not config.use_dc_factors
+
+    @pytest.mark.parametrize("tau", [-0.1, 1.1])
+    def test_tau_range(self, tau):
+        with pytest.raises(ValueError, match="tau"):
+            HoloCleanConfig(tau=tau)
+
+    def test_max_domain_positive(self):
+        with pytest.raises(ValueError, match="max_domain"):
+            HoloCleanConfig(max_domain=0)
+
+    def test_cooccur_tying_values(self):
+        assert HoloCleanConfig(cooccur_tying="value").cooccur_tying == "value"
+        with pytest.raises(ValueError, match="cooccur_tying"):
+            HoloCleanConfig(cooccur_tying="bogus")
+
+    def test_some_signal_required(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HoloCleanConfig(use_dc_feats=False, use_dc_factors=False,
+                            use_cooccur=False, use_minimality=False,
+                            use_frequency=False)
+
+
+class TestVariants:
+    def test_all_variants_construct(self):
+        for name in VARIANTS:
+            config = HoloCleanConfig.variant(name)
+            assert config.variant_name.startswith(name.split("+")[0])
+
+    def test_dc_feats_default(self):
+        config = HoloCleanConfig.variant("dc-feats")
+        assert config.use_dc_feats
+        assert not config.use_dc_factors
+        assert not config.use_partitioning
+
+    def test_dc_factors_partitioning(self):
+        config = HoloCleanConfig.variant("dc-factors+partitioning")
+        assert not config.use_dc_feats
+        assert config.use_dc_factors
+        assert config.use_partitioning
+
+    def test_full_variant(self):
+        config = HoloCleanConfig.variant("dc-feats+dc-factors+partitioning")
+        assert config.use_dc_feats and config.use_dc_factors
+        assert config.use_partitioning
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            HoloCleanConfig.variant("nope")
+
+    def test_variant_overrides(self):
+        config = HoloCleanConfig.variant("dc-feats", tau=0.9)
+        assert config.tau == 0.9
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        base = HoloCleanConfig()
+        changed = base.with_(tau=0.7)
+        assert changed.tau == 0.7
+        assert base.tau == 0.5
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            HoloCleanConfig().with_(tau=5.0)
+
+    def test_variant_name_roundtrip(self):
+        assert HoloCleanConfig.variant("dc-feats").variant_name == "dc-feats"
+        full = HoloCleanConfig.variant("dc-feats+dc-factors+partitioning")
+        assert full.variant_name == "dc-feats+dc-factors+partitioning"

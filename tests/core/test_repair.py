@@ -1,0 +1,58 @@
+"""Tests for repair-result objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.repair import CellInference, RepairResult
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+
+
+def inference(cell, init, chosen, domain, probs):
+    marginal = np.asarray(probs)
+    return CellInference(cell=cell, init_value=init, chosen_value=chosen,
+                         confidence=float(marginal.max()), domain=domain,
+                         marginal=marginal)
+
+
+class TestCellInference:
+    def test_is_repair(self):
+        inf = inference(Cell(0, "A"), "x", "y", ["x", "y"], [0.3, 0.7])
+        assert inf.is_repair
+        same = inference(Cell(0, "A"), "x", "x", ["x", "y"], [0.7, 0.3])
+        assert not same.is_repair
+
+    def test_null_init_counts_as_repair(self):
+        inf = inference(Cell(0, "A"), None, "x", ["x"], [1.0])
+        assert inf.is_repair
+
+    def test_probability_of(self):
+        inf = inference(Cell(0, "A"), "x", "y", ["x", "y"], [0.3, 0.7])
+        assert inf.probability_of("x") == pytest.approx(0.3)
+        assert inf.probability_of("unknown") == 0.0
+
+
+class TestRepairResult:
+    @pytest.fixture
+    def result(self):
+        ds = Dataset(Schema(["A"]), [["y"], ["x"]])
+        inferences = {
+            Cell(0, "A"): inference(Cell(0, "A"), "x", "y", ["x", "y"],
+                                    [0.2, 0.8]),
+            Cell(1, "A"): inference(Cell(1, "A"), "x", "x", ["x", "y"],
+                                    [0.9, 0.1]),
+        }
+        return RepairResult(repaired=ds, inferences=inferences,
+                            timings={"detect": 0.1, "compile": 0.2,
+                                     "repair": 0.3})
+
+    def test_repairs_subset(self, result):
+        assert set(result.repairs) == {Cell(0, "A")}
+        assert result.num_repairs == 1
+
+    def test_total_runtime(self, result):
+        assert result.total_runtime == pytest.approx(0.6)
+
+    def test_summary(self, result):
+        text = result.summary()
+        assert "1 repairs" in text and "2 noisy cells" in text

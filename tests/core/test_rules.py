@@ -1,0 +1,74 @@
+"""Tests for the DDlog rule rendering (Algorithm 1 / Example 4 / Example 6)."""
+
+from repro.constraints.parser import parse_dc
+from repro.core import rules
+
+
+class TestBasicRules:
+    def test_random_variable_rule(self):
+        assert rules.random_variable_rule() == \
+            "Value?(t, a, d) :- Domain(t, a, d)"
+
+    def test_quantitative_rule_has_parameterised_weight(self):
+        assert "weight = w(d, f)" in rules.quantitative_statistics_rule()
+
+    def test_external_rule_weight_per_dictionary(self):
+        assert "weight = w(k)" in rules.external_data_rule()
+
+    def test_minimality_rule_constant_weight(self):
+        assert rules.minimality_rule().endswith("weight = w")
+
+
+class TestDcFactorRule:
+    def test_example4_structure(self):
+        dc = parse_dc("t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)")
+        rule = rules.dc_factor_rule(dc, weight=2.0)
+        assert rule.startswith("!(")
+        assert "Value?(t1, Zip, v1)" in rule
+        assert "Value?(t2, Zip, v2)" in rule
+        assert "Value?(t1, State, v3)" in rule
+        assert "Value?(t2, State, v4)" in rule
+        assert "Tuple(t1), Tuple(t2)" in rule
+        assert "v1 = v2" in rule and "v3 != v4" in rule
+        assert rule.endswith("weight = 2.0")
+
+    def test_constant_predicate(self):
+        dc = parse_dc('t1&EQ(t1.State,"XX")')
+        rule = rules.dc_factor_rule(dc)
+        assert 'v1 = "XX"' in rule
+        assert "Tuple(t2)" not in rule
+
+
+class TestRelaxedRules:
+    def test_example6_one_rule_per_cell_reference(self):
+        dc = parse_dc("t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)")
+        relaxed = rules.relaxed_dc_rules(dc)
+        # Four Value? atoms in Example 4 → four relaxed rules.
+        assert len(relaxed) == 4
+        heads = [r.split(" :- ")[0] for r in relaxed]
+        assert "!Value?(t1, Zip, v1)" in heads
+        assert "!Value?(t2, State" in " ".join(heads)
+
+    def test_relaxed_rules_use_init_value_bodies(self):
+        dc = parse_dc("t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)")
+        first = rules.relaxed_dc_rules(dc)[0]
+        assert first.count("InitValue(") == 3  # all other cells
+        assert "t1 != t2" in first
+        assert first.endswith("weight = w")  # learnable
+
+
+class TestProgram:
+    def test_composition_flags(self):
+        dc = parse_dc("t1&t2&EQ(t1.A,t2.A)&IQ(t1.B,t2.B)")
+        program = rules.compile_program(
+            [dc], use_dc_feats=True, use_dc_factors=True,
+            use_external=True, use_minimality=True, dc_factor_weight=3.0)
+        text = "\n".join(program)
+        assert "Matched" in text
+        assert "InitValue(t, a, d)" in text
+        assert "weight = 3.0" in text
+        assert text.count("!Value?") == 4  # relaxed rules
+
+    def test_minimal_program(self):
+        program = rules.compile_program([], use_minimality=False)
+        assert len(program) == 2  # variable rule + statistics rule

@@ -1,0 +1,81 @@
+"""Tests for the interactive repair session (Section 2.2 feedback loop)."""
+
+import pytest
+
+from repro.core.config import HoloCleanConfig
+from repro.core.session import RepairSession
+from repro.dataset.dataset import Cell
+
+
+@pytest.fixture
+def session(figure1_dataset, figure1_constraints):
+    return RepairSession(figure1_dataset, figure1_constraints,
+                         config=HoloCleanConfig(tau=0.3, epochs=30, seed=1))
+
+
+class TestRun:
+    def test_run_matches_pipeline_behaviour(self, session):
+        result = session.run()
+        assert result.inferences[Cell(0, "Zip")].chosen_value == "60608"
+        assert result.inferences[Cell(3, "City")].chosen_value == "Chicago"
+
+    def test_rerun_without_run_runs(self, session):
+        result = session.rerun()
+        assert result.inferences
+
+
+class TestReviewQueue:
+    def test_low_confidence_requires_run(self, session):
+        with pytest.raises(RuntimeError, match="run"):
+            session.low_confidence()
+
+    def test_low_confidence_sorted_ascending(self, session):
+        session.run()
+        queue = session.low_confidence(below=1.01)
+        confidences = [inf.confidence for inf in queue]
+        assert confidences == sorted(confidences)
+
+    def test_threshold_filters(self, session):
+        session.run()
+        assert all(inf.confidence < 0.9
+                   for inf in session.low_confidence(below=0.9))
+
+
+class TestFeedback:
+    def test_feedback_clamps_cell(self, session):
+        session.run()
+        cell = Cell(0, "Zip")
+        session.feedback(cell, "60609")  # user insists the original is right
+        result = session.rerun()
+        assert result.inferences[cell].chosen_value == "60609"
+        assert result.inferences[cell].confidence == 1.0
+        assert result.repaired.value(0, "Zip") == "60609"
+
+    def test_feedback_outside_domain_applied_directly(self, session):
+        session.run()
+        cell = Cell(3, "City")
+        session.feedback(cell, "Evanston")  # not a candidate
+        result = session.rerun()
+        assert result.repaired.value(3, "City") == "Evanston"
+        assert result.inferences[cell].confidence == 1.0
+
+    def test_feedback_on_unknown_cell_rejected(self, session):
+        session.run()
+        with pytest.raises(KeyError, match="not a noisy cell"):
+            session.feedback(Cell(5, "State"), "IL")
+
+    def test_feedback_count(self, session):
+        session.run()
+        assert session.feedback_count == 0
+        session.feedback(Cell(0, "Zip"), "60608")
+        assert session.feedback_count == 1
+
+    def test_feedback_retrains_other_cells(self, session):
+        """Verified labels act as evidence for the remaining queries."""
+        first = session.run()
+        session.feedback(Cell(0, "Zip"), "60608")
+        second = session.rerun()
+        # All other inferences still produced, distributions intact.
+        assert set(second.inferences) == set(first.inferences)
+        for cell, inf in second.inferences.items():
+            assert inf.marginal.sum() == pytest.approx(1.0)

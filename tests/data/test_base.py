@@ -1,0 +1,58 @@
+"""Tests for GeneratedDataset invariants and validation."""
+
+import pytest
+
+from repro.constraints.fd import parse_fd
+from repro.data.base import GeneratedDataset
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def pieces():
+    schema = Schema(["Zip", "City"])
+    clean = Dataset(schema, [["1", "A"], ["1", "A"]])
+    dirty = clean.copy()
+    dirty.set_value(1, "City", "B")
+    dcs = parse_fd("Zip -> City").to_denial_constraints()
+    return schema, clean, dirty, dcs
+
+
+class TestValidation:
+    def test_schema_mismatch_rejected(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        other = Dataset(Schema(["X", "Y"]), [["1", "A"], ["1", "A"]])
+        with pytest.raises(ValueError, match="share a schema"):
+            GeneratedDataset("d", dirty, other, dcs, set())
+
+    def test_row_count_mismatch_rejected(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        short = Dataset(schema, [["1", "A"]])
+        with pytest.raises(ValueError, match="align"):
+            GeneratedDataset("d", dirty, short, dcs, set())
+
+    def test_verify_ground_truth_catches_drift(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        g = GeneratedDataset("d", dirty, clean, dcs, set())  # wrong: 1 diff
+        with pytest.raises(AssertionError, match="mismatch"):
+            g.verify_ground_truth()
+
+    def test_verify_ground_truth_passes_when_consistent(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        g = GeneratedDataset("d", dirty, clean, dcs, {Cell(1, "City")})
+        g.verify_ground_truth()
+
+
+class TestDerived:
+    def test_error_rate(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        g = GeneratedDataset("d", dirty, clean, dcs, {Cell(1, "City")})
+        assert g.num_errors == 1
+        assert g.error_rate == pytest.approx(1 / 4)
+
+    def test_table2_row_counts_violations(self, pieces):
+        schema, clean, dirty, dcs = pieces
+        g = GeneratedDataset("d", dirty, clean, dcs, {Cell(1, "City")})
+        row = g.table2_row()
+        assert row == {"tuples": 2, "attributes": 2, "violations": 1,
+                       "noisy_cells": 4, "ics": 1}

@@ -1,0 +1,124 @@
+"""Tests for the error-injection library."""
+
+import numpy as np
+import pytest
+
+from repro.data.errors import ErrorInjector
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def injector():
+    return ErrorInjector(np.random.default_rng(0))
+
+
+@pytest.fixture
+def dataset():
+    schema = Schema(["A", "B"])
+    return Dataset(schema, [["alpha", "beta"]] * 50)
+
+
+class TestTypo:
+    def test_x_style_changes_one_char(self, injector):
+        out = injector.typo("chicago", style="x")
+        assert len(out) == len("chicago")
+        assert sum(a != b for a, b in zip(out, "chicago")) == 1
+        assert "x" in out or "y" in out
+
+    def test_x_on_x_becomes_y(self):
+        injector = ErrorInjector(np.random.default_rng(0))
+        assert injector.typo("x", style="x") == "y"
+
+    def test_random_style_differs(self, injector):
+        out = injector.typo("chicago", style="random")
+        assert out != "chicago"
+        assert len(out) == len("chicago")
+
+    def test_empty_string_unchanged(self, injector):
+        assert injector.typo("", style="x") == ""
+
+
+class TestInjectTypos:
+    def test_tracks_changed_cells_exactly(self, injector, dataset):
+        clean = dataset.copy()
+        changed = injector.inject_typos(dataset, ["A"], rate=0.3)
+        assert changed == set(dataset.diff(clean))
+        assert all(c.attribute == "A" for c in changed)
+
+    def test_rate_zero_changes_nothing(self, injector, dataset):
+        assert injector.inject_typos(dataset, ["A", "B"], rate=0.0) == set()
+
+    def test_rate_one_changes_everything(self, injector, dataset):
+        changed = injector.inject_typos(dataset, ["A"], rate=1.0)
+        assert len(changed) == 50
+
+    def test_nulls_skipped(self, injector):
+        ds = Dataset(Schema(["A"]), [[None]] * 10)
+        assert injector.inject_typos(ds, ["A"], rate=1.0) == set()
+
+
+class TestDomainSwaps:
+    def test_swaps_use_active_domain(self, injector):
+        ds = Dataset(Schema(["A"]), [["x"]] * 10 + [["y"]] * 10)
+        clean = ds.copy()
+        changed = injector.inject_domain_swaps(ds, ["A"], rate=0.5)
+        for cell in changed:
+            assert ds.cell_value(cell) in ("x", "y")
+            assert ds.cell_value(cell) != clean.cell_value(cell)
+
+    def test_single_value_attribute_unchanged(self, injector, dataset):
+        changed = injector.inject_domain_swaps(dataset, ["A"], rate=1.0)
+        assert changed == set()  # only one distinct value: nothing to swap
+
+
+class TestSystematic:
+    def test_mapping_applied(self, injector):
+        ds = Dataset(Schema(["City"]),
+                     [["Sacramento"]] * 20 + [["Boston"]] * 5)
+        changed = injector.inject_systematic(
+            ds, "City", {"Sacramento": "Scaramento"}, fraction=1.0)
+        assert len(changed) == 20
+        assert ds.value(0, "City") == "Scaramento"
+        assert ds.value(20, "City") == "Boston"
+
+    def test_fraction_partial(self, injector):
+        ds = Dataset(Schema(["City"]), [["Sacramento"]] * 100)
+        changed = injector.inject_systematic(
+            ds, "City", {"Sacramento": "Scaramento"}, fraction=0.3)
+        assert 10 <= len(changed) <= 55  # ~30 with randomness
+
+
+class TestGroupConflicts:
+    def test_two_distinct_wrong_values(self, injector):
+        ds = Dataset(Schema(["A"]), [[f"v{i % 5}"] for i in range(20)])
+        clean = ds.copy()
+        groups = [[0, 1, 2, 3, 4]]
+        changed = injector.inject_group_conflicts(ds, groups, "A",
+                                                  group_rate=1.0, clean=clean)
+        assert len(changed) == 2
+        values = {ds.cell_value(c) for c in changed}
+        assert len(values) == 2
+        for cell in changed:
+            assert ds.cell_value(cell) != clean.cell_value(cell)
+
+    def test_small_groups_skipped(self, injector):
+        ds = Dataset(Schema(["A"]), [["x"], ["y"], ["z"]])
+        changed = injector.inject_group_conflicts(ds, [[0, 1]], "A",
+                                                  group_rate=1.0)
+        assert changed == set()
+
+
+class TestNullsAndMisspell:
+    def test_inject_nulls(self, injector, dataset):
+        changed = injector.inject_nulls(dataset, ["B"], rate=1.0)
+        assert len(changed) == 50
+        assert dataset.value(0, "B") is None
+
+    def test_misspell_transposes(self, injector):
+        out = injector.misspell("Sacramento")
+        assert out != "Sacramento"
+        assert sorted(out) == sorted("Sacramento")  # transposition keeps chars
+
+    def test_misspell_short_strings(self, injector):
+        assert injector.misspell("ab") != "ab"

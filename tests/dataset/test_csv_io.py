@@ -1,0 +1,65 @@
+"""Tests for CSV loading/saving."""
+
+import pytest
+
+from repro.dataset.csv_io import read_csv, write_csv
+from repro.dataset.dataset import Dataset, NULL
+from repro.dataset.schema import Schema
+
+
+def test_roundtrip(tmp_path):
+    schema = Schema(["A", "B"])
+    ds = Dataset(schema, [["x", "y"], ["z", None]])
+    path = tmp_path / "data.csv"
+    write_csv(ds, path)
+    loaded = read_csv(path)
+    assert loaded == ds
+
+
+def test_null_written_as_empty_field(tmp_path):
+    ds = Dataset(Schema(["A", "B"]), [[None, "x"]])
+    path = tmp_path / "data.csv"
+    write_csv(ds, path)
+    assert path.read_text().splitlines()[1] == ",x"
+
+
+def test_empty_fields_become_null(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("A,B\nx,\n")
+    ds = read_csv(path)
+    assert ds.value(0, "B") is NULL
+
+
+def test_name_defaults_to_stem(tmp_path):
+    path = tmp_path / "hospital.csv"
+    path.write_text("A\nx\n")
+    assert read_csv(path).name == "hospital"
+
+
+def test_source_attribute_role(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("Src,A\ns1,x\n")
+    ds = read_csv(path, source_attribute="Src")
+    assert ds.schema.attribute("Src").role == "source"
+    assert ds.schema.data_attributes == ["A"]
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="header"):
+        read_csv(path)
+
+
+def test_ragged_row_rejected(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("A,B\nx\n")
+    with pytest.raises(ValueError, match="row has 1 fields"):
+        read_csv(path)
+
+
+def test_values_with_commas_roundtrip(tmp_path):
+    ds = Dataset(Schema(["A"]), [["hello, world"]])
+    path = tmp_path / "data.csv"
+    write_csv(ds, path)
+    assert read_csv(path).value(0, "A") == "hello, world"

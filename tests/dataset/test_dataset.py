@@ -1,0 +1,140 @@
+"""Tests for repro.dataset.dataset."""
+
+import pytest
+
+from repro.dataset.dataset import Cell, Dataset, NULL
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+class TestCell:
+    def test_is_tuple_like(self):
+        cell = Cell(3, "City")
+        assert cell.tid == 3
+        assert cell.attribute == "City"
+        assert cell == (3, "City")
+
+    def test_repr(self):
+        assert repr(Cell(12, "City")) == "t12.City"
+
+    def test_usable_in_sets(self):
+        assert len({Cell(1, "A"), Cell(1, "A"), Cell(2, "A")}) == 2
+
+
+class TestDatasetConstruction:
+    def test_append_returns_tid(self, schema):
+        ds = Dataset(schema)
+        assert ds.append(["x", "y"]) == 0
+        assert ds.append(["z", "w"]) == 1
+
+    def test_row_length_checked(self, schema):
+        ds = Dataset(schema)
+        with pytest.raises(ValueError, match="schema has 2"):
+            ds.append(["only-one"])
+
+    def test_empty_string_normalised_to_null(self, schema):
+        ds = Dataset(schema, [["x", ""]])
+        assert ds.value(0, "B") is NULL
+
+    def test_whitespace_normalised(self, schema):
+        ds = Dataset(schema, [[" x ", "  "]])
+        assert ds.value(0, "A") == "x"
+        assert ds.value(0, "B") is NULL
+
+    def test_non_string_coerced(self, schema):
+        ds = Dataset(schema, [[42, 3.5]])
+        assert ds.value(0, "A") == "42"
+
+    def test_from_dicts(self, schema):
+        ds = Dataset.from_dicts(schema, [{"A": "x"}, {"B": "y"}])
+        assert ds.value(0, "A") == "x"
+        assert ds.value(0, "B") is NULL
+        assert ds.value(1, "B") == "y"
+
+    def test_from_dicts_rejects_unknown_keys(self, schema):
+        with pytest.raises(KeyError, match="not in schema"):
+            Dataset.from_dicts(schema, [{"Z": "x"}])
+
+
+class TestDatasetAccess:
+    def test_value_and_set_value(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        ds.set_value(0, "B", "z")
+        assert ds.value(0, "B") == "z"
+
+    def test_set_value_normalises(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        ds.set_value(0, "B", "")
+        assert ds.value(0, "B") is NULL
+
+    def test_cell_value(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        assert ds.cell_value(Cell(0, "A")) == "x"
+
+    def test_tuple_dict(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        assert ds.tuple_dict(0) == {"A": "x", "B": "y"}
+
+    def test_row_is_copy(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        row = ds.row(0)
+        row[0] = "mutated"
+        assert ds.value(0, "A") == "x"
+
+    def test_cells_row_major(self, schema):
+        ds = Dataset(schema, [["x", "y"], ["z", "w"]])
+        assert list(ds.cells()) == [Cell(0, "A"), Cell(0, "B"),
+                                    Cell(1, "A"), Cell(1, "B")]
+
+    def test_cells_of(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        assert ds.cells_of(0) == [Cell(0, "A"), Cell(0, "B")]
+
+    def test_num_cells(self, schema):
+        ds = Dataset(schema, [["x", "y"], ["z", "w"]])
+        assert ds.num_cells == 4
+
+
+class TestActiveDomain:
+    def test_first_seen_order(self, schema):
+        ds = Dataset(schema, [["b", "1"], ["a", "2"], ["b", "3"]])
+        assert ds.active_domain("A") == ["b", "a"]
+
+    def test_nulls_excluded(self, schema):
+        ds = Dataset(schema, [["x", None], ["y", None]])
+        assert ds.active_domain("B") == []
+
+
+class TestCopyAndDiff:
+    def test_copy_independent(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        clone = ds.copy()
+        clone.set_value(0, "A", "changed")
+        assert ds.value(0, "A") == "x"
+
+    def test_diff_lists_changed_cells(self, schema):
+        ds = Dataset(schema, [["x", "y"], ["z", "w"]])
+        other = ds.copy()
+        other.set_value(1, "B", "modified")
+        assert ds.diff(other) == [Cell(1, "B")]
+
+    def test_diff_empty_when_equal(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        assert ds.diff(ds.copy()) == []
+
+    def test_diff_shape_mismatch_raises(self, schema):
+        ds = Dataset(schema, [["x", "y"]])
+        other = Dataset(schema, [["x", "y"], ["z", "w"]])
+        with pytest.raises(ValueError, match="identical shape"):
+            ds.diff(other)
+
+    def test_equality(self, schema):
+        a = Dataset(schema, [["x", "y"]])
+        b = Dataset(schema, [["x", "y"]])
+        assert a == b
+        b.set_value(0, "A", "z")
+        assert a != b

@@ -1,0 +1,85 @@
+"""Tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+
+
+class TestAttribute:
+    def test_default_role_is_data(self):
+        assert Attribute("City").role == "data"
+
+    def test_custom_role(self):
+        assert Attribute("Source", role="source").role == "source"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Attribute("")
+
+    def test_frozen(self):
+        attr = Attribute("City")
+        with pytest.raises(AttributeError):
+            attr.name = "Town"
+
+
+class TestSchema:
+    def test_from_strings(self):
+        schema = Schema(["A", "B"])
+        assert schema.names == ["A", "B"]
+
+    def test_from_attributes(self):
+        schema = Schema([Attribute("A"), Attribute("B", role="source")])
+        assert schema.attribute("B").role == "source"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(["A", "B", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Schema([])
+
+    def test_index_of(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Schema(["A"]).index_of("Z")
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema(["A", "B", "C"])
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["A", "B", "C"]
+
+    def test_with_role(self):
+        schema = Schema([Attribute("S", role="source"), Attribute("A")])
+        assert schema.with_role("source") == ["S"]
+
+    def test_data_attributes_excludes_other_roles(self):
+        schema = Schema([Attribute("S", role="source"),
+                         Attribute("Id", role="id"), Attribute("A")])
+        assert schema.data_attributes == ["A"]
+
+    def test_equality_and_hash(self):
+        a = Schema(["A", "B"])
+        b = Schema(["A", "B"])
+        c = Schema(["B", "A"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_respects_roles(self):
+        assert Schema([Attribute("A")]) != Schema([Attribute("A", role="id")])
+
+    def test_has(self):
+        schema = Schema(["A"])
+        assert schema.has("A") and not schema.has("B")
+
+    def test_repr_mentions_names(self):
+        assert "'A'" in repr(Schema(["A"]))

@@ -1,0 +1,96 @@
+"""Tests for repro.dataset.stats — the Algorithm 2 statistics."""
+
+import pytest
+
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Schema
+from repro.dataset.stats import Statistics
+
+
+@pytest.fixture
+def stats():
+    schema = Schema(["City", "Zip", "State"])
+    ds = Dataset(schema, [
+        ["Chicago", "60608", "IL"],
+        ["Chicago", "60608", "IL"],
+        ["Chicago", "60609", "IL"],
+        ["Cicago", "60608", "IL"],
+        ["Boston", "02134", "MA"],
+        ["Boston", None, "MA"],
+    ])
+    return Statistics(ds)
+
+
+class TestSingleCounts:
+    def test_counts(self, stats):
+        assert stats.counts("City")["Chicago"] == 3
+        assert stats.counts("City")["Boston"] == 2
+
+    def test_frequency_missing_value(self, stats):
+        assert stats.frequency("City", "Nowhere") == 0
+
+    def test_nulls_not_counted(self, stats):
+        assert sum(stats.counts("Zip").values()) == 5
+
+    def test_relative_frequency(self, stats):
+        assert stats.relative_frequency("City", "Chicago") == pytest.approx(3 / 6)
+
+    def test_relative_frequency_empty_attribute(self):
+        ds = Dataset(Schema(["A"]), [[None], [None]])
+        assert Statistics(ds).relative_frequency("A", "x") == 0.0
+
+    def test_num_distinct(self, stats):
+        assert stats.num_distinct("State") == 2
+
+    def test_most_common(self, stats):
+        assert stats.most_common("City", 1) == [("Chicago", 3)]
+
+
+class TestPairCounts:
+    def test_cooccurrence(self, stats):
+        assert stats.cooccurrence("City", "Chicago", "Zip", "60608") == 2
+
+    def test_cooccurrence_is_order_independent(self, stats):
+        a = stats.cooccurrence("City", "Chicago", "Zip", "60608")
+        b = stats.cooccurrence("Zip", "60608", "City", "Chicago")
+        assert a == b == 2
+
+    def test_pair_counts_caller_order(self, stats):
+        forward = stats.pair_counts("City", "Zip")
+        assert forward[("Chicago", "60608")] == 2
+        backward = stats.pair_counts("Zip", "City")
+        assert backward[("60608", "Chicago")] == 2
+
+    def test_same_attribute_rejected(self, stats):
+        with pytest.raises(ValueError, match="distinct"):
+            stats.pair_counts("City", "City")
+
+    def test_null_rows_excluded_from_pairs(self, stats):
+        # Boston/None row must not contribute to (City, Zip) pairs.
+        assert stats.cooccurrence("City", "Boston", "Zip", "02134") == 1
+
+
+class TestConditional:
+    def test_paper_formula(self, stats):
+        # Pr[City=Chicago | Zip=60608] = #(Chicago,60608) / #60608 = 2/3.
+        assert stats.conditional("City", "Chicago", "Zip", "60608") == \
+            pytest.approx(2 / 3)
+
+    def test_unseen_conditioning_value(self, stats):
+        assert stats.conditional("City", "Chicago", "Zip", "99999") == 0.0
+
+    def test_cooccurring_values(self, stats):
+        values = stats.cooccurring_values("City", "Zip", "60608")
+        assert values == {"Chicago": 2, "Cicago": 1}
+
+    def test_cooccurring_values_reverse_direction(self, stats):
+        values = stats.cooccurring_values("Zip", "City", "Chicago")
+        assert values == {"60608": 2, "60609": 1}
+
+
+class TestInvalidation:
+    def test_invalidate_after_mutation(self, stats):
+        assert stats.frequency("City", "Chicago") == 3
+        stats.dataset.set_value(3, "City", "Chicago")  # fix the typo
+        stats.invalidate()
+        assert stats.frequency("City", "Chicago") == 4

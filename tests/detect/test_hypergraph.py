@@ -1,0 +1,90 @@
+"""Tests for the conflict hypergraph and Algorithm 3 components."""
+
+import pytest
+
+from repro.dataset.dataset import Cell
+from repro.detect.hypergraph import ConflictHypergraph, Violation
+
+
+def v(name, *tids):
+    cells = tuple(Cell(t, "A") for t in tids)
+    return Violation(name, tuple(tids), cells)
+
+
+class TestViolation:
+    def test_requires_tuples(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Violation("dc", (), ())
+
+    def test_frozen(self):
+        violation = v("dc", 1, 2)
+        with pytest.raises(AttributeError):
+            violation.tids = (3,)
+
+
+class TestConflictHypergraph:
+    def test_add_and_count(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc2", 3))
+        assert len(h) == 2
+        assert h.violation_count("dc1") == 1
+        assert h.violation_count() == 2
+
+    def test_by_constraint(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc1", 2, 3))
+        h.add(v("dc2", 9, 10))
+        assert len(h.by_constraint("dc1")) == 2
+        assert h.by_constraint("missing") == []
+
+    def test_cells_union(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc1", 2, 3))
+        assert h.cells() == {Cell(1, "A"), Cell(2, "A"), Cell(3, "A")}
+
+    def test_tuples(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc2", 7))
+        assert h.tuples() == {1, 2, 7}
+
+    def test_merge(self):
+        a, b = ConflictHypergraph(), ConflictHypergraph()
+        a.add(v("dc1", 1, 2))
+        b.add(v("dc2", 3, 4))
+        a.merge(b)
+        assert len(a) == 2
+        assert set(a.constraint_names) == {"dc1", "dc2"}
+
+
+class TestTupleComponents:
+    def test_transitive_grouping(self):
+        h = ConflictHypergraph()
+        h.add(v("dc", 1, 2))
+        h.add(v("dc", 2, 3))
+        h.add(v("dc", 7, 8))
+        components = h.tuple_components("dc")
+        as_sets = sorted(sorted(c) for c in components)
+        assert as_sets == [[1, 2, 3], [7, 8]]
+
+    def test_per_constraint_isolation(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc2", 2, 3))
+        assert sorted(sorted(c) for c in h.tuple_components("dc1")) == [[1, 2]]
+        assert sorted(sorted(c) for c in h.tuple_components("dc2")) == [[2, 3]]
+
+    def test_single_tuple_violation_is_singleton_component(self):
+        h = ConflictHypergraph()
+        h.add(v("dc", 5))
+        assert h.tuple_components("dc") == [{5}]
+
+    def test_all_components(self):
+        h = ConflictHypergraph()
+        h.add(v("dc1", 1, 2))
+        h.add(v("dc2", 3))
+        grouped = h.all_components()
+        assert set(grouped) == {"dc1", "dc2"}

@@ -1,0 +1,74 @@
+"""Tests for the Figure 6 calibration buckets."""
+
+import numpy as np
+import pytest
+
+from repro.core.repair import CellInference, RepairResult
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.eval.buckets import BucketReport, bucket_error_rates
+
+
+def make_result(entries):
+    """entries: list of (confidence, chosen, truth)."""
+    schema = Schema(["A"])
+    clean_rows, inferences = [], {}
+    for i, (confidence, chosen, truth) in enumerate(entries):
+        clean_rows.append([truth])
+        cell = Cell(i, "A")
+        inferences[cell] = CellInference(
+            cell=cell, init_value="init", chosen_value=chosen,
+            confidence=confidence, domain=[chosen, "init"],
+            marginal=np.array([confidence, 1 - confidence]))
+    clean = Dataset(schema, clean_rows)
+    repaired = Dataset(schema, [[e[1]] for e in entries])
+    return RepairResult(repaired=repaired, inferences=inferences), clean
+
+
+class TestBucketErrorRates:
+    def test_bucketing_and_error_rates(self):
+        result, clean = make_result([
+            (0.55, "v", "v"),        # bucket 0, correct
+            (0.55, "v", "other"),    # bucket 0, error
+            (0.95, "v", "v"),        # bucket 4, correct
+        ])
+        report = bucket_error_rates(result, clean)
+        assert report.counts == [2, 0, 0, 0, 1]
+        assert report.errors == [1, 0, 0, 0, 0]
+        rates = report.error_rates
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[4] == 0.0
+        assert rates[1] is None  # empty bucket
+
+    def test_confidence_one_lands_in_top_bucket(self):
+        result, clean = make_result([(1.0, "v", "v")])
+        report = bucket_error_rates(result, clean)
+        assert report.counts[4] == 1
+
+    def test_non_repairs_excluded(self):
+        result, clean = make_result([(0.9, "init", "init")])
+        report = bucket_error_rates(result, clean)
+        assert sum(report.counts) == 0
+
+    def test_labels(self):
+        report = BucketReport(counts=[0] * 5, errors=[0] * 5)
+        labels = report.labels()
+        assert labels[0] == "[0.5-0.6)"
+        assert len(labels) == 5
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        r1, c1 = make_result([(0.55, "v", "v")])
+        r2, c2 = make_result([(0.55, "v", "x")])
+        a = bucket_error_rates(r1, c1)
+        b = bucket_error_rates(r2, c2)
+        a.merge(b)
+        assert a.counts[0] == 2
+        assert a.errors[0] == 1
+
+    def test_merge_into_empty(self):
+        r1, c1 = make_result([(0.75, "v", "v")])
+        empty = BucketReport()
+        empty.merge(bucket_error_rates(r1, c1))
+        assert empty.counts[2] == 1

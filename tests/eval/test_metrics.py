@@ -1,0 +1,85 @@
+"""Tests for the repair-quality metrics (Section 6.1 methodology)."""
+
+import pytest
+
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.eval.metrics import evaluate_method_result, evaluate_repairs
+
+
+@pytest.fixture
+def world():
+    schema = Schema(["A"])
+    clean = Dataset(schema, [["t"], ["t"], ["t"], ["t"]])
+    dirty = clean.copy()
+    dirty.set_value(0, "A", "e0")   # two injected errors
+    dirty.set_value(1, "A", "e1")
+    return schema, clean, dirty
+
+
+class TestEvaluateRepairs:
+    def test_perfect_repair(self, world):
+        schema, clean, dirty = world
+        repaired = clean.copy()
+        q = evaluate_repairs(dirty, repaired, clean)
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+        assert q.correct_repairs == 2 and q.total_errors == 2
+
+    def test_partial_recall(self, world):
+        schema, clean, dirty = world
+        repaired = dirty.copy()
+        repaired.set_value(0, "A", "t")  # fix only one error
+        q = evaluate_repairs(dirty, repaired, clean)
+        assert q.precision == 1.0
+        assert q.recall == pytest.approx(0.5)
+        assert q.f1 == pytest.approx(2 / 3)
+
+    def test_wrong_repair_hurts_precision(self, world):
+        schema, clean, dirty = world
+        repaired = dirty.copy()
+        repaired.set_value(0, "A", "still-wrong")
+        q = evaluate_repairs(dirty, repaired, clean)
+        assert q.precision == 0.0 and q.recall == 0.0
+
+    def test_repairing_clean_cell_counts_against_precision(self, world):
+        schema, clean, dirty = world
+        repaired = dirty.copy()
+        repaired.set_value(0, "A", "t")       # correct
+        repaired.set_value(2, "A", "bogus")   # damaged a clean cell
+        q = evaluate_repairs(dirty, repaired, clean)
+        assert q.total_repairs == 2
+        assert q.precision == pytest.approx(0.5)
+
+    def test_no_repairs_zero_by_convention(self, world):
+        schema, clean, dirty = world
+        q = evaluate_repairs(dirty, dirty.copy(), clean)
+        assert q.precision == 0.0 and q.recall == 0.0 and q.f1 == 0.0
+
+    def test_explicit_error_cells_override_diff(self, world):
+        schema, clean, dirty = world
+        repaired = clean.copy()
+        q = evaluate_repairs(dirty, repaired, clean,
+                             error_cells={Cell(0, "A")})
+        assert q.recall == 2.0  # 2 correct repairs over 1 "known" error
+        assert q.total_errors == 1
+
+    def test_str_contains_counts(self, world):
+        schema, clean, dirty = world
+        q = evaluate_repairs(dirty, clean.copy(), clean)
+        assert "2/2 repairs" in str(q)
+
+
+class TestEvaluateMethodResult:
+    def test_accepts_objects_with_repaired(self, world):
+        schema, clean, dirty = world
+
+        class FakeResult:
+            repaired = clean.copy()
+
+        q = evaluate_method_result(dirty, FakeResult(), clean)
+        assert q.f1 == 1.0
+
+    def test_rejects_objects_without_repaired(self, world):
+        schema, clean, dirty = world
+        with pytest.raises(TypeError, match="repaired"):
+            evaluate_method_result(dirty, object(), clean)

@@ -1,0 +1,69 @@
+"""Tests for report rendering and the experiment harness."""
+
+import pytest
+
+from repro.data import generate_flights, generate_hospital
+from repro.eval.harness import (
+    holoclean_config_for,
+    make_baseline,
+    run_baseline,
+    run_holoclean,
+)
+from repro.eval.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [["a", 1.23456], ["bb", None]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.235" in text
+        assert "-" in lines[-1]  # None rendered as dash
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="Table 3")
+        assert text.startswith("Table 3")
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        text = render_series("precision", [0.3, 0.5], [0.9, 1.0])
+        assert "precision:" in text
+        assert "0.300→0.900" in text
+
+
+class TestHarness:
+    def test_config_applies_dataset_hints(self):
+        g = generate_flights(num_flights=4)
+        config = holoclean_config_for(g)
+        assert config.tau == g.recommended_tau
+        assert config.source_entity_attributes == ("Flight",)
+
+    def test_config_overrides_win(self):
+        g = generate_flights(num_flights=4)
+        config = holoclean_config_for(g, tau=0.9)
+        assert config.tau == 0.9
+
+    def test_run_holoclean_returns_quality(self):
+        g = generate_hospital(num_rows=80)
+        run, result = run_holoclean(g, epochs=5)
+        assert run.method == "HoloClean"
+        assert run.quality is not None
+        assert 0.0 <= run.quality.f1 <= 1.0
+        assert result.repaired.num_tuples == 80
+
+    def test_run_baseline_timeout_becomes_dnf(self):
+        g = generate_hospital(num_rows=80)
+        run = run_baseline("SCARE", g, time_budget=0.0)
+        assert run.timed_out
+        assert run.table3_cells() == [None, None, None]
+
+    def test_katara_not_applicable_without_dictionary(self):
+        g = generate_flights(num_flights=4)
+        run = run_baseline("KATARA", g)
+        assert run.quality is None and not run.timed_out
+
+    def test_unknown_baseline_rejected(self):
+        g = generate_hospital(num_rows=80)
+        with pytest.raises(ValueError, match="unknown baseline"):
+            make_baseline("Mystery", g)

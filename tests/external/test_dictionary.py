@@ -1,0 +1,106 @@
+"""Tests for external dictionaries and matching-dependency grounding."""
+
+import pytest
+
+from repro.constraints.matching import MatchingDependency, MatchPredicate
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.external.dictionary import ExternalDictionary
+from repro.external.matcher import match_dictionary
+
+
+class TestExternalDictionary:
+    def test_add_and_len(self):
+        d = ExternalDictionary("k", ["A"])
+        d.add({"A": "x"})
+        assert len(d) == 1
+
+    def test_unknown_attribute_rejected(self):
+        d = ExternalDictionary("k", ["A"])
+        with pytest.raises(KeyError, match="not in dictionary"):
+            d.add({"Z": "x"})
+
+    def test_missing_attributes_become_none(self):
+        d = ExternalDictionary("k", ["A", "B"], [{"A": "x"}])
+        assert d.entries[0] == {"A": "x", "B": None}
+
+    def test_lookup_index(self):
+        d = ExternalDictionary("k", ["A"], [{"A": "x"}, {"A": "y"}, {"A": "x"}])
+        assert d.lookup("A", "x") == [0, 2]
+        assert d.lookup("A", "zzz") == []
+
+    def test_index_invalidated_on_add(self):
+        d = ExternalDictionary("k", ["A"], [{"A": "x"}])
+        assert d.lookup("A", "x") == [0]
+        d.add({"A": "x"})
+        assert d.lookup("A", "x") == [0, 1]
+
+    def test_requires_name_and_attributes(self):
+        with pytest.raises(ValueError):
+            ExternalDictionary("", ["A"])
+        with pytest.raises(ValueError):
+            ExternalDictionary("k", [])
+
+
+class TestMatchDictionary:
+    @pytest.fixture
+    def dictionary(self):
+        return ExternalDictionary("addresses", ["Ext_Zip", "Ext_City"], [
+            {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+            {"Ext_Zip": "60609", "Ext_City": "Chicago"},
+            {"Ext_Zip": "02134", "Ext_City": "Boston"},
+        ])
+
+    @pytest.fixture
+    def md_city(self):
+        return MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                                  "City", "Ext_City", name="m1")
+
+    def test_example3_grounding(self, dictionary, md_city):
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Cicago"]])
+        matched = match_dictionary(ds, dictionary, [md_city])
+        facts = matched.for_cell(Cell(0, "City"))
+        assert len(facts) == 1
+        assert facts[0].value == "Chicago"
+        assert facts[0].dictionary == "addresses"
+
+    def test_no_match_for_unknown_zip(self, dictionary, md_city):
+        ds = Dataset(Schema(["Zip", "City"]), [["99999", "X"]])
+        matched = match_dictionary(ds, dictionary, [md_city])
+        assert len(matched) == 0
+
+    def test_null_key_no_match(self, dictionary, md_city):
+        ds = Dataset(Schema(["Zip", "City"]), [[None, "X"]])
+        matched = match_dictionary(ds, dictionary, [md_city])
+        assert len(matched) == 0
+
+    def test_fuzzy_match_predicate(self, dictionary):
+        md = MatchingDependency(
+            [MatchPredicate("City", "Ext_City", fuzzy=True)],
+            "Zip", "Ext_Zip", name="m3")
+        ds = Dataset(Schema(["Zip", "City"]), [["60608", "Cicago"]])
+        matched = match_dictionary(ds, dictionary, [md])
+        values = {m.value for m in matched.for_cell(Cell(0, "Zip"))}
+        assert values == {"60608", "60609"}  # both Chicago zips match
+
+    def test_support_aggregated(self):
+        d = ExternalDictionary("k", ["Ext_A", "Ext_B"], [
+            {"Ext_A": "x", "Ext_B": "same"},
+            {"Ext_A": "x", "Ext_B": "same"},
+        ])
+        md = MatchingDependency([MatchPredicate("A", "Ext_A")], "B", "Ext_B")
+        ds = Dataset(Schema(["A", "B"]), [["x", "other"]])
+        matched = match_dictionary(ds, d, [md])
+        (fact,) = matched.for_cell(Cell(0, "B"))
+        assert fact.support == 2
+
+    def test_best_value_uses_support(self):
+        d = ExternalDictionary("k", ["Ext_A", "Ext_B"], [
+            {"Ext_A": "x", "Ext_B": "major"},
+            {"Ext_A": "x", "Ext_B": "major"},
+            {"Ext_A": "x", "Ext_B": "minor"},
+        ])
+        md = MatchingDependency([MatchPredicate("A", "Ext_A")], "B", "Ext_B")
+        ds = Dataset(Schema(["A", "B"]), [["x", None]])
+        matched = match_dictionary(ds, d, [md])
+        assert matched.best_value(Cell(0, "B")) == "major"

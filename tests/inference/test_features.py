@@ -1,0 +1,124 @@
+"""Tests for the feature space and CSR feature matrix."""
+
+import numpy as np
+import pytest
+
+from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
+
+
+class TestFeatureSpace:
+    def test_index_allocates_sequentially(self):
+        space = FeatureSpace()
+        assert space.index("a") == 0
+        assert space.index("b") == 1
+        assert space.index("a") == 0
+        assert len(space) == 2
+
+    def test_key_lookup(self):
+        space = FeatureSpace()
+        space.index(("cooc", "City"))
+        assert space.key(0) == ("cooc", "City")
+
+    def test_get_returns_none_for_unknown(self):
+        assert FeatureSpace().get("missing") is None
+
+    def test_freeze_blocks_new_keys(self):
+        space = FeatureSpace()
+        space.index("a")
+        space.freeze()
+        assert space.index("a") == 0  # existing keys still fine
+        with pytest.raises(KeyError, match="frozen"):
+            space.index("new")
+
+    def test_fixed_weights(self):
+        space = FeatureSpace()
+        idx = space.set_fixed(("minimality",), 1.5)
+        assert space.fixed_weights == {idx: 1.5}
+
+    def test_contains(self):
+        space = FeatureSpace()
+        space.index("a")
+        assert "a" in space and "b" not in space
+
+
+class TestFeatureMatrixBuilder:
+    def test_variable_registration(self):
+        builder = FeatureMatrixBuilder(FeatureSpace())
+        assert builder.start_variable(3) == 0
+        assert builder.start_variable(2) == 1
+        assert builder.num_vars == 2
+
+    def test_zero_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FeatureMatrixBuilder(FeatureSpace()).start_variable(0)
+
+    def test_candidate_bounds_checked(self):
+        builder = FeatureMatrixBuilder(FeatureSpace())
+        v = builder.start_variable(2)
+        with pytest.raises(IndexError):
+            builder.add(v, 2, "f", 1.0)
+
+    def test_build_layout(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        v0 = builder.start_variable(2)
+        v1 = builder.start_variable(3)
+        builder.add(v0, 0, "f0", 1.0)
+        builder.add(v1, 2, "f1", 0.5)
+        m = builder.build()
+        assert m.num_vars == 2
+        assert m.num_rows == 5
+        assert list(m.var_row_start) == [0, 2, 5]
+        assert m.num_entries == 2
+
+    def test_scores_match_manual_dot_product(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        v = builder.start_variable(2)
+        builder.add(v, 0, "f0", 2.0)
+        builder.add(v, 0, "f1", 1.0)
+        builder.add(v, 1, "f1", 3.0)
+        m = builder.build()
+        w = np.array([0.5, -1.0])
+        scores = m.scores(w)
+        assert scores[0] == pytest.approx(2.0 * 0.5 + 1.0 * -1.0)
+        assert scores[1] == pytest.approx(3.0 * -1.0)
+
+    def test_scores_handle_empty_rows(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        v = builder.start_variable(3)
+        builder.add(v, 1, "f", 1.0)
+        m = builder.build()
+        scores = m.scores(np.array([2.0]))
+        assert list(scores) == [0.0, 2.0, 0.0]
+
+    def test_scores_reject_wrong_weight_length(self):
+        builder = FeatureMatrixBuilder(FeatureSpace())
+        v = builder.start_variable(1)
+        builder.add(v, 0, "f", 1.0)
+        m = builder.build()
+        with pytest.raises(ValueError, match="feature space has"):
+            m.scores(np.zeros(5))
+
+    def test_var_scores_agree_with_global(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        v0 = builder.start_variable(2)
+        v1 = builder.start_variable(2)
+        builder.add(v0, 1, "a", 1.0)
+        builder.add(v1, 0, "b", 2.0)
+        m = builder.build()
+        w = np.array([1.5, 0.25])
+        global_scores = m.scores(w)
+        assert list(m.var_scores(1, w)) == list(global_scores[2:4])
+
+    def test_entry_row_ids(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        v = builder.start_variable(2)
+        builder.add(v, 0, "a", 1.0)
+        builder.add(v, 1, "b", 1.0)
+        builder.add(v, 1, "c", 1.0)
+        m = builder.build()
+        assert list(m.entry_row_ids()) == [0, 1, 1]

@@ -1,0 +1,89 @@
+"""Tests for the Gibbs sampler."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.dataset import Cell
+from repro.inference.factor_graph import ConstraintFactor, FactorGraph
+from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.variables import VariableBlock
+
+
+def independent_graph(bias=1.5):
+    """Two independent query variables, candidate 0 favored by ``bias``."""
+    space = FeatureSpace()
+    builder = FeatureMatrixBuilder(space)
+    block = VariableBlock()
+    for i in range(2):
+        block.add(Cell(i, "A"), ["x", "y"], 0, is_evidence=False)
+        v = builder.start_variable(2)
+        builder.add(v, 0, ("bias",), bias)
+    graph = FactorGraph(block, builder.build(), space)
+    weights = np.ones(len(space))
+    return graph, weights
+
+
+def coupled_graph():
+    """Evidence variable fixed to candidate 1, hard factor pulls the query."""
+    space = FeatureSpace()
+    builder = FeatureMatrixBuilder(space)
+    block = VariableBlock()
+    block.add(Cell(0, "A"), ["x", "y"], 1, is_evidence=True)
+    builder.start_variable(2)
+    block.add(Cell(1, "A"), ["x", "y"], 0, is_evidence=False)
+    builder.start_variable(2)
+    graph = FactorGraph(block, builder.build(), space)
+    agree = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+    graph.add_factor(ConstraintFactor((0, 1), agree, weight=4.0))
+    return graph, np.zeros(len(space))
+
+
+class TestGibbsSampler:
+    def test_initial_state_uses_evidence_and_init(self):
+        graph, weights = coupled_graph()
+        sampler = GibbsSampler(graph, weights)
+        state = sampler.initial_state()
+        assert state[0] == 1  # evidence observed value
+        assert state[1] == 0  # query init value
+
+    def test_conditional_is_distribution(self):
+        graph, weights = independent_graph()
+        sampler = GibbsSampler(graph, weights)
+        p = sampler.conditional(0, sampler.initial_state())
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_marginals_match_softmax_when_independent(self):
+        graph, weights = independent_graph(bias=1.0)
+        sampler = GibbsSampler(graph, weights, seed=1)
+        result = sampler.run(burn_in=20, sweeps=400)
+        expected = np.exp(1.0) / (np.exp(1.0) + 1.0)
+        for vid in (0, 1):
+            assert result.marginals[vid][0] == pytest.approx(expected, abs=0.06)
+
+    def test_hard_factor_pulls_query_to_evidence(self):
+        graph, weights = coupled_graph()
+        sampler = GibbsSampler(graph, weights, seed=2)
+        result = sampler.run(burn_in=20, sweeps=200)
+        # Factor weight 4.0 strongly favors agreeing with evidence (=1).
+        assert result.map_index(1) == 1
+        assert result.marginals[1][1] > 0.9
+
+    def test_deterministic_given_seed(self):
+        graph, weights = independent_graph()
+        r1 = GibbsSampler(graph, weights, seed=7).run(burn_in=5, sweeps=50)
+        r2 = GibbsSampler(graph, weights, seed=7).run(burn_in=5, sweeps=50)
+        for vid in r1.marginals:
+            assert np.array_equal(r1.marginals[vid], r2.marginals[vid])
+
+    def test_zero_sweeps_returns_conditionals(self):
+        graph, weights = independent_graph()
+        result = GibbsSampler(graph, weights).run(burn_in=0, sweeps=0)
+        for m in result.marginals.values():
+            assert m.sum() == pytest.approx(1.0)
+
+    def test_marginals_only_for_query_vars(self):
+        graph, weights = coupled_graph()
+        result = GibbsSampler(graph, weights).run(burn_in=2, sweeps=5)
+        assert set(result.marginals) == {1}

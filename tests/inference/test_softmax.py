@@ -1,0 +1,99 @@
+"""Tests for the ERM softmax trainer."""
+
+import numpy as np
+import pytest
+
+from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
+from repro.inference.softmax import SoftmaxTrainer
+
+
+def build_separable(num_vars=30):
+    """Variables with 2 candidates; feature 'good' marks the label."""
+    space = FeatureSpace()
+    builder = FeatureMatrixBuilder(space)
+    labels = []
+    for i in range(num_vars):
+        v = builder.start_variable(2)
+        label = i % 2
+        builder.add(v, label, ("good",), 1.0)
+        builder.add(v, 1 - label, ("bad",), 1.0)
+        labels.append(label)
+    return builder.build(), space, labels
+
+
+class TestTraining:
+    def test_learns_separable_problem(self):
+        matrix, space, labels = build_separable()
+        trainer = SoftmaxTrainer(matrix, epochs=60, learning_rate=0.3)
+        result = trainer.train(list(range(matrix.num_vars)), labels)
+        good = result.weights[space.index(("good",))]
+        bad = result.weights[space.index(("bad",))]
+        assert good > bad
+        assert result.losses[-1] < result.losses[0]
+
+    def test_fixed_weights_not_updated(self):
+        matrix, space, labels = build_separable()
+        idx = space.index(("bad",))
+        trainer = SoftmaxTrainer(matrix, epochs=30,
+                                 fixed_weights={idx: 0.7})
+        result = trainer.train(list(range(matrix.num_vars)), labels)
+        assert result.weights[idx] == pytest.approx(0.7)
+
+    def test_l2_shrinks_weights(self):
+        matrix, _, labels = build_separable()
+        small = SoftmaxTrainer(matrix, epochs=60, l2=0.0).train(
+            list(range(matrix.num_vars)), labels)
+        large = SoftmaxTrainer(matrix, epochs=60, l2=1.0).train(
+            list(range(matrix.num_vars)), labels)
+        assert np.abs(large.weights).max() < np.abs(small.weights).max()
+
+    def test_empty_training_returns_fixed(self):
+        matrix, space, _ = build_separable()
+        idx = space.index(("good",))
+        trainer = SoftmaxTrainer(matrix, fixed_weights={idx: 2.0})
+        result = trainer.train([], [])
+        assert result.weights[idx] == 2.0
+        assert result.epochs_run == 0
+
+    def test_label_out_of_domain_rejected(self):
+        matrix, _, labels = build_separable()
+        trainer = SoftmaxTrainer(matrix)
+        with pytest.raises(ValueError, match="outside"):
+            trainer.train([0], [5])
+
+    def test_mismatched_lengths_rejected(self):
+        matrix, _, _ = build_separable()
+        with pytest.raises(ValueError, match="align"):
+            SoftmaxTrainer(matrix).train([0, 1], [0])
+
+    def test_subsampling_cap(self):
+        matrix, _, labels = build_separable(num_vars=40)
+        trainer = SoftmaxTrainer(matrix, epochs=5, max_training_vars=10)
+        result = trainer.train(list(range(40)), labels)
+        assert np.isfinite(result.final_loss)
+
+    def test_deterministic_given_seed(self):
+        matrix, _, labels = build_separable(num_vars=40)
+        runs = []
+        for _ in range(2):
+            trainer = SoftmaxTrainer(matrix, epochs=10,
+                                     max_training_vars=10, seed=3)
+            runs.append(trainer.train(list(range(40)), labels).weights)
+        assert np.array_equal(runs[0], runs[1])
+
+
+class TestMarginals:
+    def test_sum_to_one(self):
+        matrix, _, labels = build_separable()
+        trainer = SoftmaxTrainer(matrix, epochs=30)
+        result = trainer.train(list(range(matrix.num_vars)), labels)
+        marginals = trainer.marginals(result.weights, [0, 1, 2])
+        for m in marginals.values():
+            assert m.sum() == pytest.approx(1.0)
+
+    def test_favor_learned_candidate(self):
+        matrix, _, labels = build_separable()
+        trainer = SoftmaxTrainer(matrix, epochs=60, learning_rate=0.3)
+        result = trainer.train(list(range(matrix.num_vars)), labels)
+        marginals = trainer.marginals(result.weights, [0])
+        assert marginals[0][labels[0]] > 0.5

@@ -1,0 +1,83 @@
+"""Failure-injection and edge-case integration tests."""
+
+import pytest
+
+from repro.constraints.fd import parse_fd
+from repro.core.config import HoloCleanConfig
+from repro.core.pipeline import HoloClean
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Attribute, Schema
+
+
+class TestCleanInput:
+    def test_clean_dataset_yields_no_repairs(self):
+        schema = Schema(["Zip", "City"])
+        ds = Dataset(schema, [["1", "A"], ["1", "A"], ["2", "B"]])
+        dcs = parse_fd("Zip -> City").to_denial_constraints()
+        result = HoloClean(HoloCleanConfig(epochs=5, seed=1)).repair(ds, dcs)
+        assert result.num_repairs == 0
+        assert result.inferences == {}
+
+    def test_no_constraints_no_noisy_cells(self, figure1_dataset):
+        result = HoloClean(HoloCleanConfig(epochs=5, seed=1)).repair(
+            figure1_dataset, [])
+        assert result.num_repairs == 0
+
+
+class TestDegenerateData:
+    def test_all_null_column(self):
+        schema = Schema(["Zip", "City", "Empty"])
+        rows = [["1", "A", None], ["1", "B", None], ["1", "A", None]]
+        ds = Dataset(schema, rows)
+        dcs = parse_fd("Zip -> City").to_denial_constraints()
+        result = HoloClean(HoloCleanConfig(tau=0.3, epochs=10, seed=1)).repair(
+            ds, dcs)
+        # The NULL column never blocks the pipeline.
+        assert Cell(1, "City") in result.inferences
+
+    def test_single_row_dataset(self):
+        ds = Dataset(Schema(["A", "B"]), [["x", "y"]])
+        dcs = parse_fd("A -> B").to_denial_constraints()
+        result = HoloClean(HoloCleanConfig(epochs=5, seed=1)).repair(ds, dcs)
+        assert result.num_repairs == 0
+
+    def test_two_conflicting_rows_only(self):
+        """A 50/50 conflict with zero context: any outcome is acceptable,
+        but the pipeline must terminate and produce distributions."""
+        ds = Dataset(Schema(["Zip", "City"]), [["1", "A"], ["1", "B"]])
+        dcs = parse_fd("Zip -> City").to_denial_constraints()
+        result = HoloClean(HoloCleanConfig(tau=0.3, epochs=10, seed=1)).repair(
+            ds, dcs)
+        for inference in result.inferences.values():
+            assert inference.marginal.sum() == pytest.approx(1.0)
+
+    def test_id_and_source_roles_never_repaired(self):
+        schema = Schema([Attribute("Id", role="id"),
+                         Attribute("Src", role="source"),
+                         Attribute("Zip"), Attribute("City")])
+        rows = [["i1", "s1", "1", "A"], ["i2", "s1", "1", "A"],
+                ["i3", "s2", "1", "B"]]
+        ds = Dataset(schema, rows)
+        dcs = parse_fd("Zip -> City").to_denial_constraints()
+        result = HoloClean(HoloCleanConfig(tau=0.3, epochs=10, seed=1)).repair(
+            ds, dcs)
+        assert all(c.attribute in ("Zip", "City") for c in result.inferences)
+
+
+class TestDeterminism:
+    def test_same_seed_same_repairs(self, figure1_dataset, figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, epochs=20, seed=9)
+        a = HoloClean(config).repair(figure1_dataset, figure1_constraints)
+        b = HoloClean(config).repair(figure1_dataset, figure1_constraints)
+        assert {c: i.chosen_value for c, i in a.inferences.items()} == \
+            {c: i.chosen_value for c, i in b.inferences.items()}
+
+    def test_gibbs_variant_deterministic(self, figure1_dataset,
+                                         figure1_constraints):
+        config = HoloCleanConfig.variant(
+            "dc-factors", tau=0.3, epochs=10, seed=4,
+            gibbs_burn_in=3, gibbs_sweeps=10)
+        a = HoloClean(config).repair(figure1_dataset, figure1_constraints)
+        b = HoloClean(config).repair(figure1_dataset, figure1_constraints)
+        assert {c: i.chosen_value for c, i in a.repairs.items()} == \
+            {c: i.chosen_value for c, i in b.repairs.items()}

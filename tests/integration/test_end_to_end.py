@@ -1,0 +1,123 @@
+"""Integration tests: full-pipeline scenarios across modules."""
+
+import pytest
+
+from repro.core.config import HoloCleanConfig
+from repro.core.pipeline import HoloClean
+from repro.data import generate_flights, generate_hospital
+from repro.dataset.dataset import Cell
+from repro.detect.outliers import OutlierDetector
+from repro.eval.buckets import bucket_error_rates
+from repro.eval.harness import run_baseline, run_holoclean
+from repro.eval.metrics import evaluate_repairs
+
+
+class TestHospitalEndToEnd:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        generated = generate_hospital(num_rows=240)
+        run, result = run_holoclean(generated, epochs=60)
+        return generated, run, result
+
+    def test_quality_above_holistic(self, outcome):
+        generated, run, _ = outcome
+        holistic = run_baseline("Holistic", generated, time_budget=60)
+        assert run.quality.f1 > holistic.quality.f1
+
+    def test_high_precision(self, outcome):
+        _, run, _ = outcome
+        assert run.quality.precision > 0.9
+        assert run.quality.recall > 0.5
+
+    def test_confidences_calibrated_top_bucket_cleanest(self, outcome):
+        generated, _, result = outcome
+        report = bucket_error_rates(result, generated.clean)
+        rates = [r for r in report.error_rates if r is not None]
+        if len(rates) >= 2:
+            # Top-confidence bucket should not be the worst one.
+            assert rates[-1] <= max(rates)
+
+    def test_repaired_dataset_scores_same_as_result(self, outcome):
+        generated, run, result = outcome
+        q = evaluate_repairs(generated.dirty, result.repaired,
+                             generated.clean,
+                             error_cells=generated.error_cells)
+        assert q.f1 == pytest.approx(run.quality.f1)
+
+
+class TestFlightsEndToEnd:
+    def test_source_reliability_recovers_truth(self):
+        generated = generate_flights(num_flights=12)
+        run, result = run_holoclean(generated, epochs=80)
+        # The headline Flights behaviour: high precision despite most
+        # cells being noisy, far above the constraint-only baseline.
+        assert run.quality.precision > 0.8
+        assert run.quality.recall > 0.5
+        holistic = run_baseline("Holistic", generated, time_budget=60)
+        assert holistic.quality.f1 < 0.05
+
+
+class TestExtraDetectors:
+    def test_outlier_detector_expands_coverage(self, figure1_dataset,
+                                               figure1_constraints):
+        hc = HoloClean(HoloCleanConfig(tau=0.3, epochs=30, seed=1))
+        plain = hc.repair(figure1_dataset, figure1_constraints)
+        with_outliers = hc.repair(
+            figure1_dataset, figure1_constraints,
+            extra_detectors=[OutlierDetector(max_relative_frequency=0.08)])
+        assert len(with_outliers.inferences) >= len(plain.inferences)
+
+    def test_external_dictionary_supports_repairs(self, figure1_dataset,
+                                                  figure1_constraints):
+        from repro.constraints.matching import MatchingDependency, MatchPredicate
+        from repro.external.dictionary import ExternalDictionary
+        dictionary = ExternalDictionary("addr", ["Ext_Zip", "Ext_City"], [
+            {"Ext_Zip": "60608", "Ext_City": "Chicago"},
+            {"Ext_Zip": "60601", "Ext_City": "Chicago"},
+        ])
+        md = MatchingDependency([MatchPredicate("Zip", "Ext_Zip")],
+                                "City", "Ext_City")
+        hc = HoloClean(HoloCleanConfig(tau=0.3, epochs=30, seed=1))
+        result = hc.repair(figure1_dataset, figure1_constraints,
+                           dictionaries=[dictionary],
+                           matching_dependencies=[md])
+        assert result.inferences[Cell(3, "City")].chosen_value == "Chicago"
+
+
+class TestVariantAgreement:
+    def test_gibbs_agrees_with_exact_on_independent_model(
+            self, figure1_dataset, figure1_constraints):
+        """With no factors, Gibbs sampling and the closed-form softmax
+        target the same distribution; MAP repairs must coincide."""
+        exact_cfg = HoloCleanConfig(tau=0.3, epochs=40, seed=1)
+        exact = HoloClean(exact_cfg).repair(figure1_dataset,
+                                            figure1_constraints)
+        # Same model, marginals estimated by sampling instead.
+        import numpy as np
+        from repro.core.compiler import ModelCompiler
+        from repro.detect.violations import ViolationDetector
+        from repro.inference.gibbs import GibbsSampler
+        from repro.inference.softmax import SoftmaxTrainer
+
+        detection = ViolationDetector(figure1_constraints).detect(
+            figure1_dataset)
+        model = ModelCompiler(figure1_dataset, figure1_constraints,
+                              exact_cfg, detection).compile()
+        fixed = model.graph.space.fixed_weights
+        mi = model.graph.space.get(("minimality",))
+        fixed[mi] = 0.0
+        trainer = SoftmaxTrainer(model.graph.matrix, epochs=40,
+                                 fixed_weights=fixed)
+        trained = trainer.train(model.evidence_ids, model.evidence_labels)
+        trained.weights[mi] = exact_cfg.minimality_weight
+        sampler = GibbsSampler(model.graph, trained.weights, seed=5)
+        sampled = sampler.run(burn_in=20, sweeps=150)
+        agreements = 0
+        total = 0
+        for vid in model.query_ids:
+            info = model.graph.variables[vid]
+            exact_choice = exact.inferences[info.cell].chosen_value
+            sampled_choice = info.domain[sampled.map_index(vid)]
+            total += 1
+            agreements += exact_choice == sampled_choice
+        assert agreements / total > 0.9
