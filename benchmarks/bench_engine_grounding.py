@@ -1,0 +1,121 @@
+"""Naive vs engine grounding: DC violation detection + domain pruning.
+
+The vectorized relational engine (``repro.engine``) is what stands in for
+the paper's DBMS grounding layer; this bench quantifies it on a ≥10k-tuple
+Hospital dataset: wall-time of denial-constraint violation detection plus
+Algorithm 2 domain pruning, naive Python path vs engine-backed path, with
+byte-identical outputs asserted along the way.
+
+Run as a script (``python benchmarks/bench_engine_grounding.py``) or via
+pytest (``python -m pytest benchmarks/bench_engine_grounding.py -q``).
+``BENCH_ENGINE_ROWS`` / ``BENCH_ENGINE_CELLS`` resize the workload.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # plain `python benchmarks/...` from a checkout
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _common import fmt, publish  # noqa: E402
+
+from repro.core.domain import DomainPruner  # noqa: E402
+from repro.data.generators.hospital import generate_hospital  # noqa: E402
+from repro.detect.violations import ViolationDetector  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+
+#: Acceptance floor: the engine must beat the naive grounding path by at
+#: least this factor on the default workload.
+MIN_SPEEDUP = 5.0
+
+ROWS = int(os.environ.get("BENCH_ENGINE_ROWS", 10_000))
+#: Noisy cells pruned by both paths (same sorted prefix; pruning cost is
+#: linear in cells, so the ratio is unaffected by the sample size).
+DOMAIN_CELLS = int(os.environ.get("BENCH_ENGINE_CELLS", 25_000))
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def run_bench() -> dict:
+    generated = generate_hospital(num_rows=ROWS)
+    dataset = generated.dirty
+    constraints = generated.constraints
+
+    naive_detection, t_naive_detect = _timed(
+        lambda: ViolationDetector(constraints).detect(dataset))
+    cells = sorted(naive_detection.noisy_cells)[:DOMAIN_CELLS]
+    naive_domains, t_naive_domains = _timed(
+        lambda: DomainPruner(dataset, tau=generated.recommended_tau)
+        .domains(cells))
+
+    rows = {}
+    for backend in ("numpy", "sqlite"):
+        engine = Engine(dataset, backend=backend)
+        detection, t_detect = _timed(
+            lambda: ViolationDetector(constraints, engine=engine)
+            .detect(dataset))
+        domains, t_domains = _timed(
+            lambda: DomainPruner(dataset, tau=generated.recommended_tau,
+                                 engine=engine).domains(cells))
+        # The engine is an optimisation, never a semantic change.
+        assert detection.noisy_cells == naive_detection.noisy_cells
+        assert (detection.hypergraph.violations
+                == naive_detection.hypergraph.violations)
+        assert domains == naive_domains
+        rows[backend] = (t_detect, t_domains)
+
+    naive_total = t_naive_detect + t_naive_domains
+    report = {
+        "rows": dataset.num_tuples,
+        "violations": len(naive_detection.hypergraph),
+        "noisy_cells": len(naive_detection.noisy_cells),
+        "pruned_cells": len(cells),
+        "naive": (t_naive_detect, t_naive_domains),
+        **{f"engine[{name}]": times for name, times in rows.items()},
+        "speedups": {
+            name: naive_total / sum(times) for name, times in rows.items()
+        },
+    }
+
+    lines = [
+        f"Hospital {dataset.num_tuples} tuples · "
+        f"{report['violations']} violations · "
+        f"{report['noisy_cells']} noisy cells "
+        f"({report['pruned_cells']} pruned by both paths)",
+        "",
+        f"{'path':<16} {'detect(s)':>10} {'domains(s)':>11} "
+        f"{'total(s)':>9} {'speedup':>8}",
+        f"{'naive':<16} {fmt(t_naive_detect, 10)} {fmt(t_naive_domains, 11)} "
+        f"{fmt(naive_total, 9)} {fmt(1.0, 8)}",
+    ]
+    for name, (t_detect, t_domains) in rows.items():
+        total = t_detect + t_domains
+        lines.append(
+            f"{'engine/' + name:<16} {fmt(t_detect, 10)} {fmt(t_domains, 11)} "
+            f"{fmt(total, 9)} {fmt(naive_total / total, 8)}")
+    publish("engine_grounding", "\n".join(lines))
+    return report
+
+
+def test_engine_grounding_speedup():
+    report = run_bench()
+    assert report["speedups"]["numpy"] >= MIN_SPEEDUP, (
+        f"engine grounding speedup {report['speedups']['numpy']:.1f}x "
+        f"below the {MIN_SPEEDUP}x acceptance floor")
+
+
+if __name__ == "__main__":
+    outcome = run_bench()
+    print(f"speedups: " + ", ".join(
+        f"{k}={v:.1f}x" for k, v in outcome["speedups"].items()))

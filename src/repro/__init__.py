@@ -40,6 +40,7 @@ from repro.detect import (
     OutlierDetector,
     ViolationDetector,
 )
+from repro.engine import ColumnStore, Engine
 from repro.external import ExternalDictionary
 from repro.core import (
     HoloClean,
@@ -80,6 +81,8 @@ __all__ = [
     "NullDetector",
     "OutlierDetector",
     "ViolationDetector",
+    "ColumnStore",
+    "Engine",
     "ExternalDictionary",
     "HoloClean",
     "HoloCleanConfig",

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the repair report here (default stdout)")
     parser.add_argument("--min-confidence", type=float, default=0.0,
                         help="only apply repairs at or above this marginal")
+    parser.add_argument("--engine", choices=("numpy", "sqlite", "off"),
+                        default="numpy",
+                        help="grounding engine backend: vectorized NumPy "
+                             "(default), in-memory SQLite, or 'off' for the "
+                             "naive tuple-at-a-time path")
     return parser
 
 
@@ -91,7 +96,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.entity_columns else ()
     config = HoloCleanConfig.variant(
         args.variant, tau=args.tau, epochs=args.epochs, seed=args.seed,
-        source_entity_attributes=entity)
+        source_entity_attributes=entity,
+        use_engine=args.engine != "off",
+        engine_backend=args.engine if args.engine != "off" else "numpy")
 
     result = HoloClean(config).repair(dataset, constraints)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.external.matcher import match_dictionary
 from repro.inference.factor_graph import ConstraintFactor, FactorGraph
 from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
 from repro.inference.variables import VariableBlock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine
 
 
 @dataclass
@@ -59,14 +63,21 @@ class ModelCompiler:
                  config: HoloCleanConfig, detection: DetectionResult,
                  dictionaries: list[ExternalDictionary] = (),
                  matching_dependencies: list[MatchingDependency] = (),
-                 stats: Statistics | None = None):
+                 stats: Statistics | None = None,
+                 engine: "Engine | None" = None):
         self.dataset = dataset
         self.constraints = list(constraints)
         self.config = config
         self.detection = detection
         self.dictionaries = list(dictionaries)
         self.matching_dependencies = list(matching_dependencies)
-        self.stats = stats or Statistics(dataset)
+        self.engine = engine if engine is not None and engine.dataset is dataset else None
+        if stats is None:
+            # The engine's statistics serve Algorithm 2 and the
+            # co-occurrence featurizers from one vectorized computation.
+            stats = (self.engine.statistics() if self.engine is not None
+                     else Statistics(dataset))
+        self.stats = stats
 
     # ------------------------------------------------------------------
     def compile(self) -> CompiledModel:

@@ -99,6 +99,18 @@ class HoloCleanConfig:
     #: automatically only when clean evidence is scarce.
     weak_label_training: bool | None = None
 
+    # --- grounding engine ----------------------------------------------------
+    #: Route violation detection, statistics, and domain pruning through
+    #: the vectorized relational engine (:mod:`repro.engine`).  The naive
+    #: Python path is kept as a correctness oracle; both produce identical
+    #: results, the engine is just what lets grounding scale.
+    use_engine: bool = True
+
+    #: Execution backend for the engine: ``"numpy"`` (vectorized arrays,
+    #: default) or ``"sqlite"`` (in-memory DBMS grounding, the paper's
+    #: original architecture).
+    engine_backend: str = "numpy"
+
     # --- learning -----------------------------------------------------------
     epochs: int = 60
     learning_rate: float = 0.1
@@ -125,6 +137,10 @@ class HoloCleanConfig:
         if not (self.use_dc_feats or self.use_dc_factors or self.use_cooccur
                 or self.use_minimality or self.use_frequency):
             raise ValueError("at least one repair signal must be enabled")
+        if self.engine_backend not in ("numpy", "sqlite"):
+            raise ValueError(
+                f"engine_backend must be 'numpy' or 'sqlite', got "
+                f"{self.engine_backend!r}")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -32,6 +32,7 @@ from repro.core.repair import CellInference, RepairResult
 from repro.dataset.dataset import Dataset
 from repro.detect.base import DetectionResult, ErrorDetector
 from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
 from repro.external.dictionary import ExternalDictionary
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.softmax import SoftmaxTrainer
@@ -75,16 +76,19 @@ class HoloClean:
             when callers share detection across configurations.
         """
         timings: dict[str, float] = {}
+        engine = self._build_engine(dataset)
 
         started = time.perf_counter()
         if detection is None:
-            detection = self._detect(dataset, constraints, extra_detectors)
+            detection = self._detect(dataset, constraints, extra_detectors,
+                                     engine)
         timings["detect"] = time.perf_counter() - started
 
         started = time.perf_counter()
         compiler = ModelCompiler(dataset, constraints, self.config, detection,
                                  dictionaries=list(dictionaries),
-                                 matching_dependencies=list(matching_dependencies))
+                                 matching_dependencies=list(matching_dependencies),
+                                 engine=engine)
         model = compiler.compile()
         timings["compile"] = time.perf_counter() - started
 
@@ -101,9 +105,17 @@ class HoloClean:
         return result
 
     # ------------------------------------------------------------------
+    def _build_engine(self, dataset: Dataset) -> Engine | None:
+        """The shared grounding engine: one columnar encoding of the dirty
+        dataset feeding detection, pruning, and featurization."""
+        if not self.config.use_engine:
+            return None
+        return Engine(dataset, backend=self.config.engine_backend)
+
     def _detect(self, dataset: Dataset, constraints: list[DenialConstraint],
-                extra_detectors: list[ErrorDetector]) -> DetectionResult:
-        detection = ViolationDetector(constraints).detect(dataset)
+                extra_detectors: list[ErrorDetector],
+                engine: Engine | None = None) -> DetectionResult:
+        detection = ViolationDetector(constraints, engine=engine).detect(dataset)
         for detector in extra_detectors:
             detection.merge(detector.detect(dataset))
         return detection

@@ -10,10 +10,14 @@ inspection and testing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.domain import DomainPruner
 from repro.dataset.dataset import Cell, Dataset
 from repro.external.matcher import MatchedRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine
 
 
 def tuple_relation(dataset: Dataset) -> range:
@@ -22,9 +26,22 @@ def tuple_relation(dataset: Dataset) -> range:
 
 
 def init_value_relation(dataset: Dataset,
-                        attributes: list[str] | None = None) -> dict[Cell, str | None]:
-    """``InitValue(t, a, v)``: every cell's initial observed value."""
+                        attributes: list[str] | None = None,
+                        engine: "Engine | None" = None) -> dict[Cell, str | None]:
+    """``InitValue(t, a, v)``: every cell's initial observed value.
+
+    With an engine, values are decoded column-at-a-time from the columnar
+    store instead of probing the row store cell-by-cell; the resulting
+    mapping (including its row-major key order) is identical.
+    """
     attrs = attributes or dataset.schema.names
+    if engine is not None and engine.dataset is dataset:
+        columns = {a: engine.store.decoded_column(a) for a in attrs}
+        return {
+            Cell(tid, a): columns[a][tid]
+            for tid in dataset.tuple_ids
+            for a in attrs
+        }
     return {
         Cell(tid, a): dataset.value(tid, a)
         for tid in dataset.tuple_ids

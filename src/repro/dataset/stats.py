@@ -44,14 +44,20 @@ class Statistics:
         """Value → occurrence count for one attribute (cached)."""
         cached = self._single.get(attribute)
         if cached is None:
-            idx = self._dataset.schema.index_of(attribute)
-            cached = Counter()
-            for tid in self._dataset.tuple_ids:
-                v = self._dataset.row_ref(tid)[idx]
-                if v is not None:
-                    cached[v] += 1
+            cached = self._build_counts(attribute)
             self._single[attribute] = cached
         return cached
+
+    def _build_counts(self, attribute: str) -> Counter:
+        """Count one attribute's values; overridden by the engine-backed
+        subclass (:class:`repro.engine.stats.EngineStatistics`)."""
+        idx = self._dataset.schema.index_of(attribute)
+        built: Counter = Counter()
+        for tid in self._dataset.tuple_ids:
+            v = self._dataset.row_ref(tid)[idx]
+            if v is not None:
+                built[v] += 1
+        return built
 
     def frequency(self, attribute: str, value: str) -> int:
         """Number of tuples where ``attribute = value``."""
@@ -79,20 +85,26 @@ class Statistics:
         key = (attr_a, attr_b) if attr_a <= attr_b else (attr_b, attr_a)
         cached = self._pair.get(key)
         if cached is None:
-            ia = self._dataset.schema.index_of(key[0])
-            ib = self._dataset.schema.index_of(key[1])
-            cached = Counter()
-            for tid in self._dataset.tuple_ids:
-                row = self._dataset.row_ref(tid)
-                va, vb = row[ia], row[ib]
-                if va is not None and vb is not None:
-                    cached[(va, vb)] += 1
+            cached = self._build_pair_counts(key)
             self._pair[key] = cached
         if (attr_a, attr_b) == key:
             return cached
         # Present the cached symmetric counter in caller order.
         swapped = Counter({(b, a): n for (a, b), n in cached.items()})
         return swapped
+
+    def _build_pair_counts(self, key: tuple[str, str]) -> Counter:
+        """Count co-occurrences for a (sorted) attribute pair; overridden
+        by the engine-backed subclass."""
+        ia = self._dataset.schema.index_of(key[0])
+        ib = self._dataset.schema.index_of(key[1])
+        built: Counter = Counter()
+        for tid in self._dataset.tuple_ids:
+            row = self._dataset.row_ref(tid)
+            va, vb = row[ia], row[ib]
+            if va is not None and vb is not None:
+                built[(va, vb)] += 1
+        return built
 
     def cooccurrence(self, attr_a: str, value_a: str,
                      attr_b: str, value_b: str) -> int:

@@ -71,6 +71,11 @@ class ConflictHypergraph:
         for v in violations:
             self.add(v)
 
+    def add_many(self, constraint_name: str, violations: list[Violation]) -> None:
+        """Bulk-append violations of one constraint (engine fast path)."""
+        self._violations.extend(violations)
+        self._by_constraint[constraint_name].extend(violations)
+
     @property
     def violations(self) -> list[Violation]:
         return self._violations

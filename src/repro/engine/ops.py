@@ -1,0 +1,209 @@
+"""Vectorized relational primitives over coded columns.
+
+These are the building blocks of the engine's DeepDive-style grounding
+queries: composite-key encoding, group-by pair enumeration (the self-join
+``Tuple(t1), Tuple(t2)`` restricted to equal join keys), ordered hash
+joins for asymmetric keys, and frequency / co-occurrence counting.
+
+All functions operate on integer code arrays where ``-1`` encodes NULL;
+rows whose key contains a NULL never join (a missing value cannot witness
+a violation).  Pair enumeration reproduces the *exact* pair order of the
+naive hash-join in :mod:`repro.detect.violations` so that engine-produced
+violation lists are byte-identical to the oracle's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def combine_codes(columns: list[np.ndarray]) -> np.ndarray:
+    """Collapse several coded columns into one composite key column.
+
+    Rows where any component is NULL (``< 0``) get key ``-1``.  Composite
+    keys are dense group ids (via :func:`numpy.unique`), so they are safe
+    from overflow regardless of per-column cardinalities.
+    """
+    if not columns:
+        raise ValueError("need at least one column to combine")
+    cols = [np.asarray(c, dtype=np.int64) for c in columns]
+    valid = cols[0] >= 0
+    for col in cols[1:]:
+        valid &= col >= 0
+    out = np.full(len(cols[0]), -1, dtype=np.int64)
+    if len(cols) == 1:
+        out[valid] = cols[0][valid]
+        return out
+    stacked = np.stack([c[valid] for c in cols], axis=1)
+    if len(stacked):
+        _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        out[valid] = inverse
+    return out
+
+
+def value_counts(codes: np.ndarray, cardinality: int) -> np.ndarray:
+    """Occurrences per code (NULLs excluded), as a dense array."""
+    valid = codes[codes >= 0]
+    return np.bincount(valid, minlength=cardinality)
+
+
+def pair_code_counts(codes_a: np.ndarray, codes_b: np.ndarray,
+                     cardinality_b: int) -> np.ndarray:
+    """Co-occurrence counts of two coded columns.
+
+    Returns an ``(k, 3)`` array of ``[code_a, code_b, count]`` rows for
+    every pair appearing at least once, sorted by ``(code_a, code_b)``.
+    Rows where either side is NULL are ignored.
+    """
+    valid = (codes_a >= 0) & (codes_b >= 0)
+    a = codes_a[valid].astype(np.int64)
+    b = codes_b[valid].astype(np.int64)
+    if not len(a):
+        return np.empty((0, 3), dtype=np.int64)
+    # unique-sort, not bincount: memory stays O(rows) even when both
+    # attributes are near-unique (cardinality_a x cardinality_b huge).
+    joint = a * cardinality_b + b
+    present, counts = np.unique(joint, return_counts=True)
+    return np.column_stack((present // cardinality_b,
+                            present % cardinality_b,
+                            counts))
+
+
+def combine_codes_pairwise(columns1: list[np.ndarray],
+                           columns2: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Composite keys for two column lists over one shared dictionary.
+
+    ``combine_codes`` applied to each side separately would assign
+    unrelated group ids; here both sides' rows are pooled before the
+    :func:`numpy.unique` pass so ``key1[a] == key2[b]`` iff all components
+    are pairwise equal.  Each per-position column pair must already share
+    a code space (see :meth:`ColumnStore.shared_codes`).
+    """
+    if len(columns1) != len(columns2):
+        raise ValueError("both sides must have the same number of columns")
+    if len(columns1) == 1:
+        # Single column: the shared codes are already valid keys (NULL is
+        # exactly -1, matching the composite-key convention).
+        return (np.asarray(columns1[0], dtype=np.int64),
+                np.asarray(columns2[0], dtype=np.int64))
+    pooled = [np.concatenate((np.asarray(c1, dtype=np.int64),
+                              np.asarray(c2, dtype=np.int64)))
+              for c1, c2 in zip(columns1, columns2)]
+    combined = combine_codes(pooled)
+    n = len(columns1[0])
+    return combined[:n], combined[n:]
+
+
+# ---------------------------------------------------------------------------
+# Pair enumeration
+# ---------------------------------------------------------------------------
+def intra_group_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All unordered row pairs sharing a non-NULL key, ``left < right``.
+
+    Emitted in the naive hash-join's bucket order: groups ordered by their
+    first (smallest) member row, pairs within a group in nested-loop
+    ``(i, j)`` order — i.e. lexicographic ``(left, right)``.
+    """
+    keys = np.asarray(keys)
+    rows = np.nonzero(keys >= 0)[0]
+    if not len(rows):
+        return _EMPTY, _EMPTY
+    order = rows[np.argsort(keys[rows], kind="stable")]
+    sorted_keys = keys[order]
+    n = len(order)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    group_index = np.cumsum(boundary) - 1           # group id per position
+    starts = np.nonzero(boundary)[0]                # first position per group
+    sizes = np.diff(np.append(starts, n))
+    ends = (starts + sizes)[group_index]            # exclusive end per position
+    partners = ends - np.arange(n) - 1              # pairs each position opens
+    total = int(partners.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    left = np.repeat(order, partners)
+    offsets = np.concatenate(([0], np.cumsum(partners)[:-1]))
+    positions = (np.arange(total) - np.repeat(offsets, partners)
+                 + np.repeat(np.arange(n), partners) + 1)
+    right = order[positions]
+    # Naive bucket order: buckets appear in first-member (= min tid) order.
+    group_min = order[starts][group_index]          # min row per position
+    rank = np.repeat(group_min, partners)
+    reorder = np.lexsort((right, left, rank))
+    return (left[reorder].astype(np.int64, copy=False),
+            right[reorder].astype(np.int64, copy=False))
+
+
+def matching_pairs(key1: np.ndarray,
+                   key2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Ordered pairs ``(a, b)`` with ``key1[a] == key2[b]`` and ``a != b``.
+
+    Both keys must be coded over the same dictionary; NULL (``-1``) never
+    matches.  This is the probe side of an asymmetric hash join — the
+    caller applies :func:`dedup_ordered_pairs` to reproduce the naive
+    detector's unordered-pair semantics.  Pairs come out sorted by
+    ``(a, b)``, the naive probe order.
+    """
+    key1 = np.asarray(key1, dtype=np.int64)
+    key2 = np.asarray(key2, dtype=np.int64)
+    build_rows = np.nonzero(key2 >= 0)[0]
+    probe_rows = np.nonzero(key1 >= 0)[0]
+    if not len(build_rows) or not len(probe_rows):
+        return _EMPTY, _EMPTY
+    build_order = build_rows[np.argsort(key2[build_rows], kind="stable")]
+    build_keys = key2[build_order]
+    lo = np.searchsorted(build_keys, key1[probe_rows], side="left")
+    hi = np.searchsorted(build_keys, key1[probe_rows], side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    left = np.repeat(probe_rows, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = np.arange(total) - np.repeat(offsets, counts) + np.repeat(lo, counts)
+    right = build_order[positions]
+    keep = left != right
+    left, right = left[keep], right[keep]
+    # Probe rows ascend already; within one probe row the build bucket is
+    # sorted by row (stable sort over equal keys preserves row order), so
+    # the stream is lexicographic (a, b) — same as the naive loop.
+    return left, right
+
+
+def estimate_symmetric_pairs(keys: np.ndarray) -> int:
+    """Number of pairs :func:`intra_group_pairs` would materialise."""
+    valid = keys[keys >= 0]
+    if not len(valid):
+        return 0
+    _, sizes = np.unique(valid, return_counts=True)
+    return int((sizes * (sizes - 1) // 2).sum())
+
+
+def estimate_matching_pairs(key1: np.ndarray, key2: np.ndarray) -> int:
+    """Upper bound on pairs :func:`matching_pairs` would materialise."""
+    k1 = key1[key1 >= 0]
+    k2 = key2[key2 >= 0]
+    if not len(k1) or not len(k2):
+        return 0
+    values1, counts1 = np.unique(k1, return_counts=True)
+    values2, counts2 = np.unique(k2, return_counts=True)
+    shared1 = np.isin(values1, values2)
+    positions = np.searchsorted(values2, values1[shared1])
+    return int((counts1[shared1] * counts2[positions]).sum())
+
+
+def dedup_ordered_pairs(left: np.ndarray, right: np.ndarray,
+                        probe_key: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop back-edges already covered by the naive join's forward pass.
+
+    The naive asymmetric join yields ``(a, b)`` with ``b < a`` only when
+    ``key1[b] != key1[a]`` (otherwise the unordered pair was produced when
+    ``b`` played the probe side).  Mirror that rule exactly.
+    """
+    if not len(left):
+        return left, right
+    keep = (right > left) | (probe_key[right] != probe_key[left])
+    return left[keep], right[keep]

@@ -1,0 +1,141 @@
+"""Columnar relation store: integer-coded NumPy columns with value dictionaries.
+
+HoloClean's original system grounds its model inside a DBMS, where every
+relational operator works over columns, not Python objects.  The
+:class:`ColumnStore` is the equivalent substrate here: each attribute of a
+:class:`~repro.dataset.dataset.Dataset` is dictionary-encoded once into an
+``int32`` NumPy column (``-1`` encodes NULL) so that joins, group-bys and
+frequency counts become array operations on small integers.
+
+Codes are assigned in first-seen row order, matching the order in which
+the naive code paths (``Dataset.active_domain``, ``Statistics.counts``)
+encounter values — this keeps engine-produced artifacts byte-compatible
+with the naive oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.dataset import Dataset
+
+#: Code reserved for NULL in every encoded column.
+NULL_CODE: int = -1
+
+
+class ColumnStore:
+    """Dictionary-encoded columnar view of one :class:`Dataset`.
+
+    The store is a snapshot: it is built once from the dataset's current
+    values and does not observe later mutations.  Callers that mutate the
+    dataset must build a fresh store (see :meth:`Engine.refresh
+    <repro.engine.Engine.refresh>`).
+    """
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self.attributes: list[str] = list(dataset.schema.names)
+        self._codes: dict[str, np.ndarray] = {}
+        self._values: dict[str, list[str]] = {}
+        self._code_of: dict[str, dict[str, int]] = {}
+        self._shared: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._encode(dataset)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _encode(self, dataset: Dataset) -> None:
+        n = dataset.num_tuples
+        columns = {a: np.full(n, NULL_CODE, dtype=np.int32)
+                   for a in self.attributes}
+        dictionaries: dict[str, dict[str, int]] = {a: {} for a in self.attributes}
+        names = self.attributes
+        for tid in range(n):
+            row = dataset.row_ref(tid)
+            for i, attr in enumerate(names):
+                value = row[i]
+                if value is None:
+                    continue
+                mapping = dictionaries[attr]
+                code = mapping.get(value)
+                if code is None:
+                    code = len(mapping)
+                    mapping[value] = code
+                columns[attr][tid] = code
+        self._codes = columns
+        self._code_of = dictionaries
+        self._values = {a: list(d) for a, d in dictionaries.items()}
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.dataset.num_tuples
+
+    def codes(self, attribute: str) -> np.ndarray:
+        """The encoded column of ``attribute`` (``-1`` = NULL)."""
+        return self._codes[attribute]
+
+    def values(self, attribute: str) -> list[str]:
+        """The value dictionary: ``values[code]`` is the decoded string."""
+        return self._values[attribute]
+
+    def cardinality(self, attribute: str) -> int:
+        """Number of distinct non-NULL values of ``attribute``."""
+        return len(self._values[attribute])
+
+    def code_of(self, attribute: str, value: str) -> int:
+        """The code of ``value`` in ``attribute`` (``-1`` if absent)."""
+        return self._code_of[attribute].get(value, NULL_CODE)
+
+    def decode(self, attribute: str, code: int) -> str | None:
+        return None if code < 0 else self._values[attribute][code]
+
+    def decoded_column(self, attribute: str) -> list[str | None]:
+        """The whole column decoded back to Python values."""
+        values = self._values[attribute]
+        return [None if c < 0 else values[c]
+                for c in self._codes[attribute].tolist()]
+
+    # ------------------------------------------------------------------
+    # Cross-attribute comparison
+    # ------------------------------------------------------------------
+    def shared_codes(self, attr_a: str, attr_b: str) -> tuple[np.ndarray, np.ndarray]:
+        """Both columns re-coded over one shared dictionary.
+
+        Per-attribute codes are only comparable within their own column;
+        predicates like ``t1.A = t2.B`` need codes drawn from a dictionary
+        covering ``values(A) ∪ values(B)``.  Equal strings map to equal
+        shared codes; NULL stays ``-1``.  Results are cached per pair.
+        """
+        if attr_a == attr_b:
+            col = self._codes[attr_a]
+            return col, col
+        key = (attr_a, attr_b) if attr_a <= attr_b else (attr_b, attr_a)
+        cached = self._shared.get(key)
+        if cached is None:
+            union: dict[str, int] = {}
+            luts = []
+            for attr in key:
+                lut = np.empty(len(self._values[attr]), dtype=np.int64)
+                for code, value in enumerate(self._values[attr]):
+                    shared = union.setdefault(value, len(union))
+                    lut[code] = shared
+                luts.append(lut)
+            cols = []
+            for attr, lut in zip(key, luts):
+                codes = self._codes[attr]
+                out = np.full(len(codes), NULL_CODE, dtype=np.int64)
+                valid = codes >= 0
+                out[valid] = lut[codes[valid]]
+                cols.append(out)
+            cached = (cols[0], cols[1])
+            self._shared[key] = cached
+        if (attr_a, attr_b) == key:
+            return cached
+        return cached[1], cached[0]
+
+    def __repr__(self) -> str:
+        return (f"ColumnStore(rows={self.num_rows}, "
+                f"attributes={len(self.attributes)})")

@@ -1,0 +1,1 @@
+"""Test package (needed so duplicate test basenames import cleanly)."""

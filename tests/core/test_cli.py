@@ -43,6 +43,18 @@ class TestCli:
         assert code == 0
         assert read_csv(output).value(0, "Zip") == "60608"
 
+    @pytest.mark.parametrize("engine", ["numpy", "sqlite", "off"])
+    def test_engine_choices_agree(self, workspace, engine):
+        tmp_path, input_csv, dcs = workspace
+        output = tmp_path / f"repaired-{engine}.csv"
+        code = main(["--input", str(input_csv), "--output", str(output),
+                     "--constraints", str(dcs), "--tau", "0.3",
+                     "--epochs", "30", "--seed", "1", "--engine", engine,
+                     "--report", str(tmp_path / f"r-{engine}.txt")])
+        assert code == 0
+        # Every backend (and the naive path) repairs the Figure 1 zip.
+        assert read_csv(output).value(0, "Zip") == "60608"
+
     def test_no_constraints_is_an_error(self, workspace, capsys):
         tmp_path, input_csv, _ = workspace
         code = main(["--input", str(input_csv),

@@ -1,0 +1,203 @@
+"""The engine's contract: byte-identical results to the naive oracle.
+
+The naive Python paths (tuple-at-a-time violation detection, row-scan
+statistics, Algorithm 2 over them) are kept as the correctness oracle;
+every engine backend must reproduce their output *exactly* — same noisy
+cells, same violation list in the same order, same pruned domains —
+on the paper's generators and on adversarial random datasets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Operator, Predicate, TupleRef
+from repro.core.config import HoloCleanConfig
+from repro.core.domain import DomainPruner
+from repro.core.pipeline import HoloClean
+from repro.data.generators.flights import generate_flights
+from repro.data.generators.hospital import generate_hospital
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Schema
+from repro.dataset.stats import Statistics
+from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
+
+BACKENDS = ("numpy", "sqlite")
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return generate_hospital(num_rows=320)
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return generate_flights(num_flights=12)
+
+
+def naive_detection(generated):
+    return ViolationDetector(generated.constraints).detect(generated.dirty)
+
+
+# ---------------------------------------------------------------------------
+# Violation detection on the paper's generators
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", ["hospital", "flights"])
+def test_violations_identical_on_generators(name, backend, request):
+    generated = request.getfixturevalue(name)
+    naive = naive_detection(generated)
+    engine = Engine(generated.dirty, backend=backend)
+    fast = ViolationDetector(generated.constraints,
+                             engine=engine).detect(generated.dirty)
+    assert fast.noisy_cells == naive.noisy_cells
+    # Byte-identical including order: the factor-grounding stages walk the
+    # violation list, so ordering is part of the contract.
+    assert fast.hypergraph.violations == naive.hypergraph.violations
+    assert len(naive.hypergraph) > 0  # the comparison is not vacuous
+
+
+# ---------------------------------------------------------------------------
+# Statistics and Algorithm 2 domains
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", ["hospital", "flights"])
+def test_statistics_identical_on_generators(name, backend, request):
+    generated = request.getfixturevalue(name)
+    dataset = generated.dirty
+    naive = Statistics(dataset)
+    fast = Engine(dataset, backend=backend).statistics()
+    attrs = dataset.schema.names
+    for attr in attrs:
+        assert fast.counts(attr) == naive.counts(attr), attr
+    for a in attrs[:4]:
+        for b in attrs[:4]:
+            if a == b:
+                continue
+            assert fast.pair_counts(a, b) == naive.pair_counts(a, b), (a, b)
+            sample = list(naive.counts(b))[:5]
+            for given in sample:
+                assert (fast.cooccurring_values(a, b, given)
+                        == naive.cooccurring_values(a, b, given)), (a, b, given)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", ["hospital", "flights"])
+def test_domains_identical_on_generators(name, backend, request):
+    generated = request.getfixturevalue(name)
+    dataset = generated.dirty
+    noisy = sorted(naive_detection(generated).noisy_cells)
+    naive_pruner = DomainPruner(dataset, tau=generated.recommended_tau)
+    fast_pruner = DomainPruner(dataset, tau=generated.recommended_tau,
+                               engine=Engine(dataset, backend=backend))
+    naive_domains = naive_pruner.domains(noisy)
+    fast_domains = fast_pruner.domains(noisy)
+    # Exact equality: same cells, same candidate lists, same ranking order.
+    assert fast_domains == naive_domains
+    assert any(len(d) > 1 for d in naive_domains.values())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_init_value_relation_identical(backend, flights):
+    from repro.core.relations import init_value_relation
+
+    dataset = flights.dirty
+    naive = init_value_relation(dataset)
+    fast = init_value_relation(dataset, engine=Engine(dataset, backend=backend))
+    assert fast == naive
+    assert list(fast) == list(naive)  # row-major key order preserved
+
+
+def test_engine_refresh_invalidates_statistics(flights):
+    dataset = flights.dirty.copy()
+    engine = Engine(dataset)
+    stats = engine.statistics()
+    attr = dataset.schema.names[1]
+    before = stats.counts(attr)
+    old_value = dataset.value(0, attr)
+    dataset.set_value(0, attr, "synthetic-new-value")
+    engine.refresh()
+    after = engine.statistics().counts(attr)
+    assert after != before
+    assert after["synthetic-new-value"] == 1
+    assert after[old_value] == before[old_value] - 1
+
+
+def test_pathological_join_falls_back_to_naive(monkeypatch):
+    # A constant join key explodes quadratically; the guard must reroute
+    # to the streaming path and still produce identical violations.
+    rows = [["k", str(i % 7)] for i in range(60)]
+    dataset = Dataset(Schema(["K", "V"]), rows)
+    dc = DenialConstraint([
+        Predicate(TupleRef(1, "K"), Operator.EQ, TupleRef(2, "K")),
+        Predicate(TupleRef(1, "V"), Operator.NEQ, TupleRef(2, "V")),
+    ], name="const_key")
+    naive = ViolationDetector([dc]).detect(dataset)
+    guarded = ViolationDetector([dc], engine=Engine(dataset),
+                                max_engine_pairs=10).detect(dataset)
+    assert guarded.hypergraph.violations == naive.hypergraph.violations
+
+
+# ---------------------------------------------------------------------------
+# Full pipeline: engine on/off and across backends
+# ---------------------------------------------------------------------------
+def test_pipeline_repairs_identical_across_engines(hospital):
+    results = {}
+    for label, config in {
+        "naive": HoloCleanConfig(use_engine=False),
+        "numpy": HoloCleanConfig(use_engine=True, engine_backend="numpy"),
+        "sqlite": HoloCleanConfig(use_engine=True, engine_backend="sqlite"),
+    }.items():
+        result = HoloClean(config).repair(hospital.dirty, hospital.constraints)
+        results[label] = result
+    baseline = results["naive"]
+    for label in ("numpy", "sqlite"):
+        result = results[label]
+        assert result.repaired == baseline.repaired, label
+        assert set(result.inferences) == set(baseline.inferences), label
+
+
+# ---------------------------------------------------------------------------
+# Adversarial random datasets (property test)
+# ---------------------------------------------------------------------------
+VALUE = st.sampled_from(["a", "b", "c", "d", None])
+ROWS = st.lists(st.tuples(VALUE, VALUE, VALUE), min_size=0, max_size=14)
+
+RANDOM_DCS = [
+    # FD-style symmetric join with inequality residual.
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+        Predicate(TupleRef(1, "B"), Operator.NEQ, TupleRef(2, "B")),
+    ], name="fd_a_b"),
+    # Asymmetric join across attributes (exercises shared code spaces).
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "B")),
+        Predicate(TupleRef(1, "C"), Operator.NEQ, TupleRef(2, "C")),
+    ], name="asym_ab"),
+    # Order residual: not vectorizable, exercises the Python fallback.
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+        Predicate(TupleRef(1, "C"), Operator.GT, TupleRef(2, "C")),
+    ], name="order_c"),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=ROWS)
+def test_random_datasets_identical(rows):
+    dataset = Dataset(Schema(["A", "B", "C"]), [list(r) for r in rows])
+    naive = ViolationDetector(RANDOM_DCS).detect(dataset)
+    for backend in BACKENDS:
+        engine = Engine(dataset, backend=backend)
+        fast = ViolationDetector(RANDOM_DCS, engine=engine).detect(dataset)
+        assert fast.noisy_cells == naive.noisy_cells, backend
+        assert fast.hypergraph.violations == naive.hypergraph.violations, backend
+        if dataset.num_tuples:
+            naive_stats = Statistics(dataset)
+            fast_stats = engine.statistics()
+            for attr in ("A", "B", "C"):
+                assert fast_stats.counts(attr) == naive_stats.counts(attr)
+            assert (fast_stats.pair_counts("A", "C")
+                    == naive_stats.pair_counts("A", "C"))
