@@ -1,0 +1,27 @@
+# Developer entry points; CI runs the same commands (see .github/workflows).
+
+PYTHON ?= python
+
+.PHONY: test lint bench bench-ci clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check .
+	xargs -a .ruff-format-paths ruff format --check
+
+# Run every benchmarks/bench_*.py and collect BENCH_*.json results.
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench
+
+# The CI bench job: the two regression-gated performance benchmarks plus
+# the baseline comparison.
+bench-ci:
+	$(PYTHON) benchmarks/bench_engine_grounding.py
+	$(PYTHON) benchmarks/bench_factor_grounding.py
+	$(PYTHON) benchmarks/check_regression.py
+
+clean:
+	rm -rf .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

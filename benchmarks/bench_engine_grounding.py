@@ -24,7 +24,7 @@ try:
 except ModuleNotFoundError:  # plain `python benchmarks/...` from a checkout
     sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from _common import fmt, publish  # noqa: E402
+from _common import fmt, publish, publish_json  # noqa: E402
 
 from repro.core.domain import DomainPruner  # noqa: E402
 from repro.data.generators.hospital import generate_hospital  # noqa: E402
@@ -39,6 +39,10 @@ ROWS = int(os.environ.get("BENCH_ENGINE_ROWS", 10_000))
 #: Noisy cells pruned by both paths (same sorted prefix; pruning cost is
 #: linear in cells, so the ratio is unaffected by the sample size).
 DOMAIN_CELLS = int(os.environ.get("BENCH_ENGINE_CELLS", 25_000))
+
+#: The acceptance floor is defined for the 10k-tuple workload; downsized
+#: runs (fixed costs dominate) report the speedup without enforcing it.
+ENFORCE_FLOOR = ROWS >= 10_000
 
 
 def _timed(fn):
@@ -105,17 +109,36 @@ def run_bench() -> dict:
             f"{'engine/' + name:<16} {fmt(t_detect, 10)} {fmt(t_domains, 11)} "
             f"{fmt(total, 9)} {fmt(naive_total / total, 8)}")
     publish("engine_grounding", "\n".join(lines))
+    if ENFORCE_FLOOR:
+        # Downsized smoke runs would overwrite the gated result with
+        # numbers the committed baselines cannot be compared against.
+        publish_json(
+            "engine_grounding",
+            metrics={"speedup_numpy": report["speedups"]["numpy"],
+                     "speedup_sqlite": report["speedups"]["sqlite"]},
+            meta={"rows": report["rows"],
+                  "violations": report["violations"],
+                  "noisy_cells": report["noisy_cells"],
+                  "pruned_cells": report["pruned_cells"],
+                  "naive_total_s": naive_total})
+    else:
+        print(f"downsized run ({ROWS} rows): BENCH json not published",
+              file=sys.stderr)
     return report
 
 
 def test_engine_grounding_speedup():
     report = run_bench()
-    assert report["speedups"]["numpy"] >= MIN_SPEEDUP, (
-        f"engine grounding speedup {report['speedups']['numpy']:.1f}x "
-        f"below the {MIN_SPEEDUP}x acceptance floor")
+    if ENFORCE_FLOOR:
+        assert report["speedups"]["numpy"] >= MIN_SPEEDUP, (
+            f"engine grounding speedup {report['speedups']['numpy']:.1f}x "
+            f"below the {MIN_SPEEDUP}x acceptance floor")
 
 
 if __name__ == "__main__":
     outcome = run_bench()
-    print(f"speedups: " + ", ".join(
+    print("speedups: " + ", ".join(
         f"{k}={v:.1f}x" for k, v in outcome["speedups"].items()))
+    if ENFORCE_FLOOR and outcome["speedups"]["numpy"] < MIN_SPEEDUP:
+        print(f"FAIL: numpy speedup below {MIN_SPEEDUP}x", file=sys.stderr)
+        raise SystemExit(1)

@@ -1,0 +1,153 @@
+"""``python -m repro bench``: run the benchmark suite locally.
+
+Discovers every ``benchmarks/bench_*.py`` script in the repository
+checkout and runs the selected ones as subprocesses — directly when the
+script has a ``__main__`` entry point, through pytest otherwise (the
+table/figure benches are pytest-style) — then summarises the
+machine-readable ``BENCH_*.json`` results published under
+``benchmarks/results/``, the same files the CI ``bench`` job uploads as
+artifacts and gates with ``benchmarks/check_regression.py``.  Each
+script honours its own ``BENCH_*`` / ``REPRO_SCALE`` environment knobs.
+
+Usage::
+
+    python -m repro bench --list
+    python -m repro bench --only factor_grounding --only engine_grounding
+    python -m repro bench --check          # apply the CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_MAIN_GUARD = re.compile(r"__name__\s*==\s*['\"]__main__['\"]")
+
+
+def repo_benchmarks_dir() -> Path | None:
+    """The checkout's ``benchmarks/`` directory, if running from one."""
+    candidate = Path(__file__).resolve().parents[2] / "benchmarks"
+    return candidate if candidate.is_dir() else None
+
+
+def child_env(bench_dir: Path) -> dict[str, str]:
+    """Subprocess environment with the checkout's ``src/`` importable.
+
+    Children run with ``cwd=benchmarks/``, so any relative ``PYTHONPATH``
+    inherited from the caller (e.g. ``PYTHONPATH=src``) would no longer
+    resolve; prepend the absolute package root instead.
+    """
+    env = dict(os.environ)
+    src = str(bench_dir.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def command_for(script: Path) -> list[str]:
+    """How to execute one benchmark script.
+
+    The performance benches are plain scripts with a ``__main__`` block;
+    the table/figure benches only define pytest functions and would
+    silently no-op under ``python script.py``.
+    """
+    if _MAIN_GUARD.search(script.read_text()):
+        return [sys.executable, str(script)]
+    return [sys.executable, "-m", "pytest", str(script), "-q"]
+
+
+def discover(bench_dir: Path, only: list[str]) -> list[Path]:
+    """The benchmark scripts to run, filtered by ``--only`` substrings."""
+    scripts = sorted(bench_dir.glob("bench_*.py"))
+    if not only:
+        return scripts
+    return [s for s in scripts if any(pattern in s.stem for pattern in only)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the benchmark scripts and collect BENCH_*.json results")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="run only scripts whose name contains this "
+                             "(repeatable); default: all bench_*.py")
+    parser.add_argument("--list", action="store_true",
+                        help="list the scripts that would run, then exit")
+    parser.add_argument("--check", action="store_true",
+                        help="after running, compare BENCH_*.json against "
+                             "benchmarks/baselines.json (the CI gate)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression for --check "
+                             "(default 0.20)")
+    return parser
+
+
+def summarise(results_dir: Path) -> list[str]:
+    lines = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        metrics = ", ".join(f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                            for k, v in payload.get("metrics", {}).items())
+        lines.append(f"  {path.name}: {metrics}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    bench_dir = repo_benchmarks_dir()
+    if bench_dir is None:
+        print("error: no benchmarks/ directory next to this package "
+              "(bench runs from a repository checkout)", file=sys.stderr)
+        return 2
+    scripts = discover(bench_dir, args.only)
+    if not scripts:
+        print("error: no benchmark scripts matched", file=sys.stderr)
+        return 2
+    if args.list:
+        for script in scripts:
+            print(script.name)
+        return 0
+
+    env = child_env(bench_dir)
+    failures: list[str] = []
+    for script in scripts:
+        print(f"== {script.name}", flush=True)
+        started = time.perf_counter()
+        proc = subprocess.run(command_for(script), cwd=bench_dir, env=env)
+        elapsed = time.perf_counter() - started
+        status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+        print(f"== {script.name}: {status} in {elapsed:.1f}s", flush=True)
+        if proc.returncode != 0:
+            failures.append(script.name)
+
+    results_dir = bench_dir / "results"
+    summary = summarise(results_dir) if results_dir.is_dir() else []
+    if summary:
+        print("\nBENCH results:")
+        print("\n".join(summary))
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+
+    if args.check:
+        check = bench_dir / "check_regression.py"
+        proc = subprocess.run(
+            [sys.executable, str(check), "--tolerance", str(args.tolerance)],
+            cwd=bench_dir.parent)
+        return proc.returncode
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ The constraints file uses the textual denial-constraint format
 ``--fd`` adds functional dependencies on top.  The repaired dataset is
 written to ``--output`` and a human-readable repair report (cell, old
 value, new value, confidence) to ``--report`` or stdout.
+
+``python -m repro bench [...]`` runs the repository's benchmark suite
+instead (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -63,13 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only apply repairs at or above this marginal")
     parser.add_argument("--engine", choices=("numpy", "sqlite", "off"),
                         default="numpy",
-                        help="grounding engine backend: vectorized NumPy "
-                             "(default), in-memory SQLite, or 'off' for the "
-                             "naive tuple-at-a-time path")
+                        help="grounding engine backend for detection, "
+                             "statistics, domain pruning, and DC-factor "
+                             "pair enumeration: vectorized NumPy (default), "
+                             "in-memory SQLite, or 'off' for the naive "
+                             "tuple-at-a-time path")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     dataset = read_csv(args.input, source_attribute=args.source_column)

@@ -7,7 +7,13 @@ relaxation), and the end-to-end repair pipeline (Figure 2).
 
 from repro.core.config import HoloCleanConfig, VARIANTS
 from repro.core.domain import DomainPruner
-from repro.core.partition import PairEnumerator, TupleGroup, tuple_groups
+from repro.core.partition import (
+    PairEnumerator,
+    TupleGroup,
+    VectorPairEnumerator,
+    make_pair_enumerator,
+    tuple_groups,
+)
 from repro.core.featurize import (
     FeaturizationContext,
     Featurizer,
@@ -31,6 +37,8 @@ __all__ = [
     "DomainPruner",
     "PairEnumerator",
     "TupleGroup",
+    "VectorPairEnumerator",
+    "make_pair_enumerator",
     "tuple_groups",
     "FeaturizationContext",
     "Featurizer",

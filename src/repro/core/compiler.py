@@ -22,7 +22,7 @@ from repro.constraints.matching import MatchingDependency
 from repro.core.config import HoloCleanConfig
 from repro.core.domain import DomainPruner
 from repro.core.featurize import FeaturizationContext, default_featurizers
-from repro.core.partition import PairEnumerator
+from repro.core.partition import make_pair_enumerator
 from repro.core.relations import CompiledRelations
 from repro.core import rules as ddlog
 from repro.dataset.dataset import Cell, Dataset
@@ -49,10 +49,16 @@ class CompiledModel:
     query_ids: list[int]
     ddlog_program: list[str] = field(default_factory=list)
     skipped_factors: int = 0
+    #: Pair-enumeration statistics of the DC-factor grounding stage:
+    #: enumerator kind, pairs walked, and the engine enumerator's group /
+    #: streaming counters (empty when DC factors are off).
+    grounding: dict[str, int | str] = field(default_factory=dict)
 
-    def size_report(self) -> dict[str, int]:
-        report = self.graph.size_report()
+    def size_report(self) -> dict[str, int | str]:
+        report: dict[str, int | str] = self.graph.size_report()
         report["skipped_factors"] = self.skipped_factors
+        for key, value in self.grounding.items():
+            report[f"grounding_{key}"] = value
         return report
 
 
@@ -139,8 +145,9 @@ class ModelCompiler:
         graph = FactorGraph(variables, matrix, space)
 
         skipped = 0
+        grounding: dict[str, int | str] = {}
         if config.use_dc_factors:
-            skipped = self._ground_factors(graph, query_domains)
+            skipped, grounding = self._ground_factors(graph, query_domains)
 
         relations = CompiledRelations(self.dataset,
                                       {**query_domains, **evidence_domains},
@@ -168,7 +175,7 @@ class ModelCompiler:
                              evidence_ids=evidence_ids,
                              evidence_labels=evidence_labels,
                              query_ids=query_ids, ddlog_program=program,
-                             skipped_factors=skipped)
+                             skipped_factors=skipped, grounding=grounding)
 
     # ------------------------------------------------------------------
     def _featurize(self, builder: FeatureMatrixBuilder, featurizers,
@@ -255,21 +262,33 @@ class ModelCompiler:
     # Algorithm 1 grounding: denial constraints as factors
     # ------------------------------------------------------------------
     def _ground_factors(self, graph: FactorGraph,
-                        query_domains: dict[Cell, list[str]]) -> int:
+                        query_domains: dict[Cell, list[str]],
+                        ) -> tuple[int, dict[str, int | str]]:
         config = self.config
-        enumerator = PairEnumerator(self.dataset, query_domains,
-                                    max_pairs=config.max_factor_pairs)
+        enumerator = make_pair_enumerator(
+            self.dataset, query_domains, engine=self.engine,
+            max_pairs=config.max_factor_pairs,
+            chunk_pairs=config.factor_chunk_pairs,
+            stream_budget=config.factor_stream_budget)
         hypergraph = self.detection.hypergraph
         skipped = 0
+        pairs = 0
         for dc in self.constraints:
             if dc.is_single_tuple:
                 skipped += self._ground_single_tuple_factors(graph, dc)
                 continue
             for t1, t2 in enumerator.pairs_for(dc, config.use_partitioning,
                                                hypergraph):
+                pairs += 1
                 if not self._ground_pair_factor(graph, dc, t1, t2):
                     skipped += 1
-        return skipped
+        grounding: dict[str, int | str] = {
+            "enumerator": type(enumerator).__name__}
+        grounding.update(getattr(enumerator, "stats", {}))
+        # The pairs actually walked by the grounding loop is authoritative
+        # (the enumerator's own counter must not shadow it).
+        grounding["pairs"] = pairs
+        return skipped, grounding
 
     def _ground_single_tuple_factors(self, graph: FactorGraph,
                                      dc: DenialConstraint) -> int:

@@ -8,7 +8,7 @@ Algorithm 1, and the learning/sampling budgets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: The model variants evaluated in Figure 5 of the paper.
 VARIANTS = (
@@ -81,6 +81,14 @@ class HoloCleanConfig:
     max_factor_table: int = 4096
     max_factor_pairs: int = 200_000
 
+    #: Chunk size (in estimated pairs) of the engine enumerator's streaming
+    #: path: groups whose raw pair estimate exceeds ``factor_stream_budget``
+    #: are enumerated bucket-chunk by bucket-chunk of at most this many
+    #: estimated pairs, so exploding joins (Physicians-scale groups) stream
+    #: with bounded memory instead of materialising at once.
+    factor_chunk_pairs: int = 65_536
+    factor_stream_budget: int = 1_048_576
+
     # --- DC feature extraction (Section 5.2) --------------------------------
     dc_feature_cap: float = 10.0
     max_dc_feature_partners: int = 100
@@ -100,10 +108,11 @@ class HoloCleanConfig:
     weak_label_training: bool | None = None
 
     # --- grounding engine ----------------------------------------------------
-    #: Route violation detection, statistics, and domain pruning through
-    #: the vectorized relational engine (:mod:`repro.engine`).  The naive
-    #: Python path is kept as a correctness oracle; both produce identical
-    #: results, the engine is just what lets grounding scale.
+    #: Route violation detection, statistics, domain pruning, and DC-factor
+    #: pair enumeration through the vectorized relational engine
+    #: (:mod:`repro.engine`).  The naive Python path is kept as a
+    #: correctness oracle; both produce identical results, the engine is
+    #: just what lets grounding scale.
     use_engine: bool = True
 
     #: Execution backend for the engine: ``"numpy"`` (vectorized arrays,
@@ -141,6 +150,10 @@ class HoloCleanConfig:
             raise ValueError(
                 f"engine_backend must be 'numpy' or 'sqlite', got "
                 f"{self.engine_backend!r}")
+        if self.factor_chunk_pairs < 1:
+            raise ValueError("factor_chunk_pairs must be at least 1")
+        if self.factor_stream_budget < 1:
+            raise ValueError("factor_stream_budget must be at least 1")
 
     # ------------------------------------------------------------------
     @classmethod

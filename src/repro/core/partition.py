@@ -10,17 +10,29 @@ ways, both implemented here:
 * **Partitioning** (Algorithm 3): pairs are further restricted to the
   connected components of the per-constraint conflict hypergraph, limiting
   factors to ``O(Σ_g |g|²)`` instead of ``O(|Σ| |D|²)``.
+
+Two enumerators implement the same contract: the tuple-at-a-time
+:class:`PairEnumerator` (the correctness oracle) and the engine-backed
+:class:`VectorPairEnumerator`, which pushes the candidate-domain self-join
+into the relational backend (the paper's DBMS grounding) and reproduces
+the naive pair stream byte for byte — set *and* order.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.predicates import TupleRef
 from repro.dataset.dataset import Cell, Dataset
 from repro.detect.hypergraph import ConflictHypergraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine
 
 
 @dataclass(frozen=True)
@@ -145,3 +157,396 @@ class PairEnumerator:
                     yield pair
                     if len(seen) >= self.max_pairs:
                         return
+
+
+class VectorPairEnumerator(PairEnumerator):
+    """Engine-backed pair enumeration: the grounding self-join as a plan.
+
+    Drop-in replacement for :class:`PairEnumerator` that computes each
+    constraint's join-feasible pairs with the backend's hash-join
+    primitives instead of Python dict/set loops:
+
+    * the candidate values every cell may take are materialised **once**
+      per join attribute as a cell→domain-codes index on the engine's
+      :class:`~repro.engine.store.ColumnStore` (and reused across
+      constraints sharing the attribute and across Algorithm 3 groups,
+      where the naive enumerator rebuilds its buckets per group);
+    * Algorithm 3 tuple components are intersected with the join via one
+      vectorized component-id lookup over the tuple-id space, not a
+      per-component Python set scan;
+    * the pair stream is emitted in the naive enumerator's **exact**
+      order (bucket first-seen order, lexicographic within a bucket,
+      first-bucket dedup), so the two enumerators are byte-equivalent and
+      the naive path remains the correctness oracle.
+
+    Groups whose estimated pair count exceeds ``stream_budget`` are not
+    materialised at once: their buckets are enumerated in fixed-size
+    chunks of at most ``chunk_pairs`` estimated pairs each, keeping peak
+    memory bounded while still covering every pair deterministically —
+    Physicians-scale joins stream instead of being truncated.
+    """
+
+    def __init__(self, engine: "Engine", dataset: Dataset,
+                 domains: dict[Cell, list[str]], max_pairs: int = 200_000,
+                 chunk_pairs: int = 65_536, stream_budget: int = 1_048_576):
+        super().__init__(dataset, domains, max_pairs)
+        if engine.dataset is not dataset:
+            raise ValueError("engine was built over a different dataset")
+        self.engine = engine
+        self.chunk_pairs = max(1, chunk_pairs)
+        self.stream_budget = max(self.chunk_pairs, stream_budget)
+        self._indexes: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        # Split the domains once by attribute: the per-attribute index
+        # build walks only its own cells instead of re-filtering every
+        # query cell per constraint.
+        self._domains_by_attr: dict[str, dict[Cell, list[str]]] = {}
+        for cell, domain in domains.items():
+            self._domains_by_attr.setdefault(cell.attribute, {})[cell] = domain
+        #: Counters for the size report: emitted pairs, enumerated groups,
+        #: groups that took the chunked streaming path, and streaming
+        #: chunk calls (materialised groups take one call, not counted).
+        self.stats = {"pairs": 0, "groups": 0, "streamed_groups": 0,
+                      "chunks": 0}
+
+    # ------------------------------------------------------------------
+    # Array-chunk API (the engine's native product)
+    # ------------------------------------------------------------------
+    def pair_chunks(self, dc: DenialConstraint, use_partitioning: bool = False,
+                    hypergraph: ConflictHypergraph | None = None):
+        """Yield the constraint's pair stream as ``(left, right)`` arrays.
+
+        The concatenation of the chunks is exactly the tuple stream of
+        :meth:`pairs_for` — same pairs, same order, same ``max_pairs``
+        cap — delivered columnar instead of tuple-at-a-time, which is
+        what bulk consumers (benchmarks, future vectorized factor
+        builders) should iterate.
+        """
+        if not dc.equijoin_predicates:
+            yield from self._fallback_chunks(dc, use_partitioning, hypergraph)
+            return
+        remaining = [self.max_pairs]
+        if not use_partitioning or hypergraph is None:
+            tids = np.arange(self.dataset.num_tuples, dtype=np.int64)
+            yield from self._group_chunks(dc, tids, remaining)
+            return
+        yield from self._partitioned_chunks(dc, hypergraph, remaining)
+
+    def _partitioned_chunks(self, dc: DenialConstraint,
+                            hypergraph: ConflictHypergraph,
+                            remaining: list[int]):
+        """All Algorithm 3 groups of one constraint, fused when small.
+
+        Components are disjoint, so namespacing each bucket key by its
+        component id turns the whole per-group walk into **one** backend
+        join whose first-seen bucket order is exactly the concatenation
+        of the per-group orders.  Only when the fused estimate blows the
+        streaming budget does enumeration fall back to group-at-a-time
+        chunking (same stream, bounded memory).  One ``max_pairs`` cap is
+        shared across groups, as in the naive walk.
+        """
+        from repro.engine import ops
+
+        components = hypergraph.tuple_components(dc.name)
+        layout = self._component_layout(components)
+        if layout is None:
+            return
+        members, labels, _boundaries = layout
+        indptr, codes = self._combined_index(dc)
+        row_codes, row_tids, counts = _take_rows(indptr, codes, members)
+        if not len(row_codes):
+            return
+        row_groups = np.repeat(labels, counts)
+        composite = row_groups * (int(row_codes.max()) + 1) + row_codes
+        bucket_ids, member_tids = ops.bucket_memberships(composite, row_tids)
+        _, sizes = ops.bucket_extents(bucket_ids)
+        estimated = int((sizes * (sizes - 1) // 2).sum())
+        if estimated <= min(self.stream_budget, 4 * remaining[0]):
+            self.stats["groups"] += len(components)
+            yield from self._materialise_group(bucket_ids, member_tids,
+                                               remaining)
+            return
+        # Over budget: stream group by group, reusing the fused membership.
+        # Composite bucket ranks are assigned in group-major scan order, so
+        # each group's rows form one contiguous slice of the fused arrays.
+        lookup = np.full(self.dataset.num_tuples, -1, dtype=np.int64)
+        lookup[members] = labels
+        row_label = lookup[member_tids]
+        group_bounds = np.concatenate((
+            [0], np.nonzero(np.diff(row_label))[0] + 1, [len(row_label)]))
+        for k in range(len(group_bounds) - 1):
+            lo, hi = int(group_bounds[k]), int(group_bounds[k + 1])
+            yield from self._bucketed_chunks(bucket_ids[lo:hi],
+                                             member_tids[lo:hi], remaining)
+            if remaining[0] <= 0:
+                return
+
+    def _fallback_chunks(self, dc: DenialConstraint, use_partitioning: bool,
+                         hypergraph: ConflictHypergraph | None):
+        """Constraints without equijoins: batch the naive all-pairs walk."""
+        buffer: list[tuple[int, int]] = []
+
+        def flush():
+            chunk = np.asarray(buffer, dtype=np.int64)
+            self.stats["pairs"] += len(buffer)
+            buffer.clear()
+            return chunk[:, 0], chunk[:, 1]
+
+        for pair in super().pairs_for(dc, use_partitioning, hypergraph):
+            buffer.append(pair)
+            if len(buffer) >= self.chunk_pairs:
+                yield flush()
+        if buffer:
+            yield flush()
+
+    # ------------------------------------------------------------------
+    # Tuple-at-a-time API (drop-in for the naive enumerator)
+    # ------------------------------------------------------------------
+    def join_pairs(self, dc: DenialConstraint,
+                   restrict_to: frozenset[int] | None = None):
+        if not dc.equijoin_predicates:
+            yield from super().join_pairs(dc, restrict_to)
+            return
+        if restrict_to is not None:
+            tids = np.fromiter(sorted(restrict_to), dtype=np.int64,
+                               count=len(restrict_to))
+        else:
+            tids = np.arange(self.dataset.num_tuples, dtype=np.int64)
+        for left, right in self._group_chunks(dc, tids, [self.max_pairs]):
+            yield from zip(left.tolist(), right.tolist())
+
+    def pairs_for(self, dc: DenialConstraint, use_partitioning: bool,
+                  hypergraph: ConflictHypergraph | None):
+        for left, right in self.pair_chunks(dc, use_partitioning, hypergraph):
+            yield from zip(left.tolist(), right.tolist())
+
+    # ------------------------------------------------------------------
+    def _component_layout(self, components: list[set[int]],
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Component membership as one vectorized component-id lookup.
+
+        Builds a tuple→component-id array and sorts the member tuples
+        once (stably, so ids stay ascending within a component).  Returns
+        ``(members, labels, boundaries)`` where
+        ``members[boundaries[k]:boundaries[k + 1]]`` are component ``k``'s
+        sorted tuple ids, components in their own order.
+        """
+        if not components:
+            return None
+        comp_of = np.full(self.dataset.num_tuples, -1, dtype=np.int64)
+        for k, component in enumerate(components):
+            comp_of[np.fromiter(component, dtype=np.int64,
+                                count=len(component))] = k
+        members = np.nonzero(comp_of >= 0)[0]
+        labels = comp_of[members]
+        order = np.argsort(labels, kind="stable")
+        members, labels = members[order], labels[order]
+        boundaries = np.concatenate((
+            [0], np.nonzero(np.diff(labels))[0] + 1, [len(members)]))
+        return members, labels, boundaries
+
+    def _combined_index(self, dc: DenialConstraint) -> tuple[np.ndarray, np.ndarray]:
+        """CSR of candidate codes per tuple for the constraint's join key.
+
+        Row ``t`` concatenates the candidates of ``(t, attr1)`` and — for
+        cross-attribute joins, over one shared codebook — ``(t, attr2)``,
+        in the naive enumerator's scan order.  Cached per attribute pair.
+        """
+        pred = dc.equijoin_predicates[0]
+        assert isinstance(pred.right, TupleRef)
+        if pred.left.tuple_index == 1:
+            attr1, attr2 = pred.left.attribute, pred.right.attribute
+        else:
+            attr1, attr2 = pred.right.attribute, pred.left.attribute
+        key = (attr1, attr2)
+        cached = self._indexes.get(key)
+        if cached is None:
+            store = self.engine.store
+            if attr1 == attr2:
+                index = store.domain_code_index(
+                    attr1, self._domains_by_attr.get(attr1, {}))
+                cached = (index.indptr, index.codes)
+            else:
+                codebook = store.union_codebook(attr1, attr2)
+                cached = _merge_csr(
+                    store.domain_code_index(
+                        attr1, self._domains_by_attr.get(attr1, {}), codebook),
+                    store.domain_code_index(
+                        attr2, self._domains_by_attr.get(attr2, {}), codebook))
+            self._indexes[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def _materialise_group(self, bucket_ids: np.ndarray,
+                           member_tids: np.ndarray, remaining: list[int]):
+        """One backend join for a whole under-budget group, budget-clipped."""
+        left, right = self.engine.backend.domain_join_pairs(bucket_ids,
+                                                            member_tids)
+        take = min(len(left), remaining[0])
+        if take > 0:
+            remaining[0] -= take
+            self.stats["pairs"] += take
+            yield left[:take], right[:take]
+
+    def _group_chunks(self, dc: DenialConstraint, tids: np.ndarray,
+                      remaining: list[int]):
+        """Yield one group's pairs as arrays, materialised or streamed.
+
+        ``remaining`` is a one-element mutable budget shared across the
+        groups of one constraint (the naive enumerator's global cap).
+        """
+        from repro.engine import ops
+
+        if remaining[0] <= 0 or not len(tids):
+            return
+        indptr, codes = self._combined_index(dc)
+        row_codes, row_tids, _ = _take_rows(indptr, codes, tids)
+        bucket_ids, member_tids = ops.bucket_memberships(row_codes, row_tids)
+        yield from self._bucketed_chunks(bucket_ids, member_tids, remaining)
+
+    def _bucketed_chunks(self, bucket_ids: np.ndarray,
+                         member_tids: np.ndarray, remaining: list[int]):
+        """One group's normalised bucket membership → pair-array chunks."""
+        from repro.engine import ops
+
+        if not len(bucket_ids) or remaining[0] <= 0:
+            return
+        self.stats["groups"] += 1
+        backend = self.engine.backend
+        starts, sizes = ops.bucket_extents(bucket_ids)
+        per_bucket = sizes * (sizes - 1) // 2
+        estimated = int(per_bucket.sum())
+
+        # Materialise small groups in one backend call; stream anything
+        # whose raw pair estimate dwarfs the budget or the memory bound.
+        if estimated <= min(self.stream_budget, 4 * remaining[0]):
+            yield from self._materialise_group(bucket_ids, member_tids,
+                                               remaining)
+            return
+
+        self.stats["streamed_groups"] += 1
+        stride = int(member_tids.max()) + 1
+        seen = np.empty(0, dtype=np.int64)
+        bucket = 0
+        num_buckets = len(starts)
+        while bucket < num_buckets and remaining[0] > 0:
+            if per_bucket[bucket] > self.chunk_pairs:
+                # A single bucket larger than a chunk: stream its nested
+                # pair walk in bounded blocks instead of materialising
+                # O(|bucket|²) pairs at once.
+                lo = int(starts[bucket])
+                members = member_tids[lo:lo + int(sizes[bucket])]
+                position = 0
+                while position < len(members) - 1 and remaining[0] > 0:
+                    left, right, position = ops.bucket_pair_block(
+                        members, position, self.chunk_pairs)
+                    self.stats["chunks"] += 1
+                    chunk, seen = self._fresh_clip(left, right, stride,
+                                                   seen, remaining)
+                    if chunk is not None:
+                        yield chunk
+                bucket += 1
+                continue
+            # Fixed-size chunk: consecutive buckets totalling at most
+            # ``chunk_pairs`` estimated pairs (always at least one bucket).
+            end = bucket + 1
+            chunk_estimate = int(per_bucket[bucket])
+            while (end < num_buckets
+                   and chunk_estimate + per_bucket[end] <= self.chunk_pairs):
+                chunk_estimate += int(per_bucket[end])
+                end += 1
+            lo = int(starts[bucket])
+            hi = int(starts[end - 1] + sizes[end - 1])
+            left, right = backend.domain_join_pairs(bucket_ids[lo:hi],
+                                                    member_tids[lo:hi])
+            self.stats["chunks"] += 1
+            chunk, seen = self._fresh_clip(left, right, stride, seen,
+                                           remaining)
+            if chunk is not None:
+                yield chunk
+            bucket = end
+
+    def _fresh_clip(self, left: np.ndarray, right: np.ndarray, stride: int,
+                    seen: np.ndarray, remaining: list[int],
+                    ) -> tuple[tuple[np.ndarray, np.ndarray] | None, np.ndarray]:
+        """Drop already-emitted pairs, apply the budget, record the rest.
+
+        The backend dedups only within one call; across chunks the
+        emitted pairs are tracked as a sorted encoded array (a pair is
+        kept by the chunk of its first bucket, as in the naive walk).
+        """
+        if not len(left):
+            return None, seen
+        encoded = left * stride + right
+        if len(seen):
+            slot = np.searchsorted(seen, encoded)
+            slot_safe = np.minimum(slot, len(seen) - 1)
+            fresh = ~((slot < len(seen)) & (seen[slot_safe] == encoded))
+            left, right, encoded = left[fresh], right[fresh], encoded[fresh]
+        take = min(len(left), remaining[0])
+        if take <= 0:
+            return None, seen
+        remaining[0] -= take
+        self.stats["pairs"] += take
+        # Keep `seen` sorted for the searchsorted probe above.  NumPy's
+        # stable sort is a radix sort for integer dtypes, so re-sorting
+        # the concatenation stays near-linear in |seen| per chunk (and
+        # |seen| itself is bounded by the max_pairs cap).
+        seen = np.sort(np.concatenate((seen, np.sort(encoded[:take]))),
+                       kind="stable")
+        return (left[:take], right[:take]), seen
+
+
+def make_pair_enumerator(dataset: Dataset, domains: dict[Cell, list[str]],
+                         engine: "Engine | None" = None,
+                         max_pairs: int = 200_000,
+                         chunk_pairs: int = 65_536,
+                         stream_budget: int = 1_048_576) -> PairEnumerator:
+    """The engine-backed enumerator when an engine is available, else naive."""
+    if engine is not None and engine.dataset is dataset:
+        return VectorPairEnumerator(engine, dataset, domains,
+                                    max_pairs=max_pairs,
+                                    chunk_pairs=chunk_pairs,
+                                    stream_budget=stream_budget)
+    return PairEnumerator(dataset, domains, max_pairs=max_pairs)
+
+
+# ---------------------------------------------------------------------------
+# CSR helpers for the candidate-domain indexes
+# ---------------------------------------------------------------------------
+def _merge_csr(index1, index2) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise concatenation of two CSR candidate indexes.
+
+    Row ``t`` of the result lists ``index1``'s candidates then
+    ``index2``'s — the order the naive enumerator scans a tuple's two
+    join-attribute cells.  Both indexes must share one codebook.
+    """
+    counts1 = np.diff(index1.indptr)
+    counts2 = np.diff(index2.indptr)
+    indptr = np.concatenate(([0], np.cumsum(counts1 + counts2)))
+    codes = np.empty(int(indptr[-1]), dtype=np.int64)
+    within1 = (np.arange(int(counts1.sum()))
+               - np.repeat(np.cumsum(counts1) - counts1, counts1))
+    codes[np.repeat(indptr[:-1], counts1) + within1] = index1.codes
+    within2 = (np.arange(int(counts2.sum()))
+               - np.repeat(np.cumsum(counts2) - counts2, counts2))
+    codes[np.repeat(indptr[:-1] + counts1, counts2) + within2] = index2.codes
+    return indptr, codes
+
+
+def _take_rows(indptr: np.ndarray, codes: np.ndarray, tids: np.ndarray,
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows of ``tids``, tagging each code with its tid.
+
+    Returns ``(row_codes, row_tids, counts)`` where ``counts[k]`` is the
+    number of rows contributed by ``tids[k]`` (so callers can repeat
+    further per-tid labels alongside).
+    """
+    counts = indptr[tids + 1] - indptr[tids]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, counts
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, counts)
+    source = np.repeat(indptr[tids], counts) + within
+    return codes[source], np.repeat(tids, counts), counts

@@ -48,7 +48,7 @@ class RepairResult:
     repaired: Dataset
     inferences: dict[Cell, CellInference]
     timings: dict[str, float] = field(default_factory=dict)
-    size_report: dict[str, int] = field(default_factory=dict)
+    size_report: dict[str, int | str] = field(default_factory=dict)
     training_losses: list[float] = field(default_factory=list)
     config: HoloCleanConfig | None = None
 

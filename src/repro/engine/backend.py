@@ -17,7 +17,9 @@ interchangeable anywhere the engine is used.
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+from array import array
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -47,6 +49,27 @@ class Backend(Protocol):
 
     def join_pairs(self, join_attrs: JoinAttrs) -> tuple[np.ndarray, np.ndarray]:
         """Tuple-id pairs whose join keys coincide (see :class:`_BaseBackend`)."""
+        ...
+
+    def estimated_join_pairs(self, join_attrs: JoinAttrs) -> int:
+        """Pairs :meth:`join_pairs` would materialise (histogram estimate).
+
+        Production callers (the violation detector's memory guard) rely on
+        this to reroute pathological joins to a streaming path before any
+        pair array is allocated.
+        """
+        ...
+
+    def domain_join_pairs(self, bucket_ids: np.ndarray,
+                          member_tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate-domain bucket join for DC-factor grounding.
+
+        Input is a normalised bucket membership (one row per distinct
+        ``(bucket, tid)``, sorted by ``(bucket, tid)`` — see
+        :func:`~repro.engine.ops.bucket_memberships`); output is every
+        unordered tuple pair sharing a bucket, deduped to its first
+        bucket, in the naive enumerator's exact emission order.
+        """
         ...
 
 
@@ -108,12 +131,25 @@ class _BaseBackend:
             return ops.estimate_symmetric_pairs(key1)
         return ops.estimate_matching_pairs(key1, key2)
 
+    def domain_join_pairs(self, bucket_ids: np.ndarray,
+                          member_tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        bucket_ids = np.asarray(bucket_ids, dtype=np.int64)
+        member_tids = np.asarray(member_tids, dtype=np.int64)
+        if not len(bucket_ids):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return self._domain_pairs(bucket_ids, member_tids)
+
     # -- executors (subclass responsibility) ----------------------------
     def _symmetric_pairs(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
 
     def _asymmetric_pairs(self, key1: np.ndarray,
                           key2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _domain_pairs(self, bucket_ids: np.ndarray,
+                      member_tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
 
 
@@ -136,6 +172,9 @@ class NumpyBackend(_BaseBackend):
 
     def _asymmetric_pairs(self, key1: np.ndarray, key2: np.ndarray):
         return ops.matching_pairs(key1, key2)
+
+    def _domain_pairs(self, bucket_ids: np.ndarray, member_tids: np.ndarray):
+        return ops.bucket_join_pairs(bucket_ids, member_tids)
 
 
 class SQLiteBackend(_BaseBackend):
@@ -182,10 +221,7 @@ class SQLiteBackend(_BaseBackend):
         query = (f"SELECT {ca}, {cb}, COUNT(*) FROM cells "
                  f"WHERE {ca} IS NOT NULL AND {cb} IS NOT NULL "
                  f"GROUP BY {ca}, {cb} ORDER BY {ca}, {cb}")
-        rows = self._db.execute(query).fetchall()
-        if not rows:
-            return np.empty((0, 3), dtype=np.int64)
-        return np.asarray(rows, dtype=np.int64)
+        return self._fetch_columns(self._db.execute(query), width=3)
 
     # -- joins ----------------------------------------------------------
     def _key_table(self, *keys: np.ndarray) -> list[str]:
@@ -202,13 +238,35 @@ class SQLiteBackend(_BaseBackend):
             self._db.execute(f"CREATE INDEX jk_{k} ON jk ({k})")
         return names
 
-    @staticmethod
-    def _as_pairs(rows: list[tuple[int, int]]) -> tuple[np.ndarray, np.ndarray]:
-        if not rows:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        arr = np.asarray(rows, dtype=np.int64)
-        return arr[:, 0], arr[:, 1]
+    #: Rows fetched per ``fetchmany`` round trip: large enough to amortise
+    #: the cursor call, small enough that the transient row tuples of one
+    #: batch stay cache-resident.
+    FETCH_BATCH = 65_536
+
+    @classmethod
+    def _fetch_columns(cls, cursor: sqlite3.Cursor, width: int) -> np.ndarray:
+        """Drain a cursor into a ``(rows, width)`` int64 array.
+
+        Fetches in bounded ``fetchmany`` batches and appends through an
+        ``array``-module adapter, so only one batch of Python row tuples
+        is ever alive — not the whole result set (the ROADMAP's
+        row-tuple-materialisation issue).
+        """
+        adapter = array("q")
+        while True:
+            rows = cursor.fetchmany(cls.FETCH_BATCH)
+            if not rows:
+                break
+            adapter.extend(itertools.chain.from_iterable(rows))
+        if not adapter:
+            return np.empty((0, width), dtype=np.int64)
+        return np.frombuffer(adapter, dtype=np.int64).reshape(-1, width)
+
+    @classmethod
+    def _fetch_pairs(cls, cursor: sqlite3.Cursor) -> tuple[np.ndarray, np.ndarray]:
+        table = cls._fetch_columns(cursor, width=2)
+        return (np.ascontiguousarray(table[:, 0]),
+                np.ascontiguousarray(table[:, 1]))
 
     def _symmetric_pairs(self, keys: np.ndarray):
         (k,) = self._key_table(keys)
@@ -220,7 +278,7 @@ class SQLiteBackend(_BaseBackend):
             f"JOIN (SELECT {k} AS key, MIN(tid) AS first FROM jk "
             f"      WHERE {k} IS NOT NULL GROUP BY {k}) g ON g.key = a.{k} "
             "ORDER BY g.first, a.tid, b.tid")
-        pairs = self._as_pairs(self._db.execute(query).fetchall())
+        pairs = self._fetch_pairs(self._db.execute(query))
         self._db.execute("DROP TABLE IF EXISTS jk")
         return pairs
 
@@ -230,8 +288,31 @@ class SQLiteBackend(_BaseBackend):
             "SELECT a.tid, b.tid FROM jk a "
             f"JOIN jk b ON b.{k2} = a.{k1} AND b.tid != a.tid "
             "ORDER BY a.tid, b.tid")
-        pairs = self._as_pairs(self._db.execute(query).fetchall())
+        pairs = self._fetch_pairs(self._db.execute(query))
         self._db.execute("DROP TABLE IF EXISTS jk")
+        return pairs
+
+    def _domain_pairs(self, bucket_ids: np.ndarray, member_tids: np.ndarray):
+        """Candidate-domain bucket join as SQL over a temp membership table.
+
+        A pair is grouped to its smallest (= first-seen) bucket; ordering
+        by ``(that bucket, t1, t2)`` reproduces the naive enumerator's
+        bucket-walk emission order.
+        """
+        self._db.execute("DROP TABLE IF EXISTS dm")
+        self._db.execute("CREATE TEMP TABLE dm (b INTEGER, tid INTEGER)")
+        self._db.executemany(
+            "INSERT INTO dm VALUES (?, ?)",
+            zip((int(b) for b in bucket_ids), (int(t) for t in member_tids)))
+        self._db.execute("CREATE INDEX dm_b ON dm (b)")
+        query = (
+            "SELECT t1, t2 FROM ("
+            "  SELECT a.tid AS t1, b.tid AS t2, MIN(a.b) AS first "
+            "  FROM dm a JOIN dm b ON b.b = a.b AND b.tid > a.tid "
+            "  GROUP BY a.tid, b.tid) "
+            "ORDER BY first, t1, t2")
+        pairs = self._fetch_pairs(self._db.execute(query))
+        self._db.execute("DROP TABLE IF EXISTS dm")
         return pairs
 
     def close(self) -> None:

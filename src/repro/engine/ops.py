@@ -99,6 +99,33 @@ def combine_codes_pairwise(columns1: list[np.ndarray],
 # ---------------------------------------------------------------------------
 # Pair enumeration
 # ---------------------------------------------------------------------------
+def _expand_contiguous_pairs(values: np.ndarray, starts: np.ndarray,
+                             sizes: np.ndarray,
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Nested-loop ``(i, j)`` pairs within each contiguous run of ``values``.
+
+    The shared kernel of the symmetric joins: for every run
+    ``values[starts[g]:starts[g] + sizes[g]]``, emits all ``i < j``
+    position pairs in nested-loop order.  Returns ``(left, right,
+    source)`` where ``source`` is the position each ``left`` came from
+    (free — it is an intermediate of the expansion), letting callers
+    attach further per-position labels to pairs.
+    """
+    n = len(values)
+    boundary = np.zeros(n, dtype=bool)
+    boundary[starts] = True
+    group_index = np.cumsum(boundary) - 1           # group id per position
+    ends = (starts + sizes)[group_index]            # exclusive end per position
+    partners = ends - np.arange(n) - 1              # pairs each position opens
+    total = int(partners.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    source = np.repeat(np.arange(n), partners)
+    offsets = np.concatenate(([0], np.cumsum(partners)[:-1]))
+    positions = np.arange(total) - np.repeat(offsets, partners) + source + 1
+    return np.repeat(values, partners), values[positions], source
+
+
 def intra_group_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """All unordered row pairs sharing a non-NULL key, ``left < right``.
 
@@ -111,28 +138,13 @@ def intra_group_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if not len(rows):
         return _EMPTY, _EMPTY
     order = rows[np.argsort(keys[rows], kind="stable")]
-    sorted_keys = keys[order]
-    n = len(order)
-    boundary = np.empty(n, dtype=bool)
-    boundary[0] = True
-    boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
-    group_index = np.cumsum(boundary) - 1           # group id per position
-    starts = np.nonzero(boundary)[0]                # first position per group
-    sizes = np.diff(np.append(starts, n))
-    ends = (starts + sizes)[group_index]            # exclusive end per position
-    partners = ends - np.arange(n) - 1              # pairs each position opens
-    total = int(partners.sum())
-    if total == 0:
+    starts, sizes = bucket_extents(keys[order])
+    left, right, source = _expand_contiguous_pairs(order, starts, sizes)
+    if not len(left):
         return _EMPTY, _EMPTY
-    left = np.repeat(order, partners)
-    offsets = np.concatenate(([0], np.cumsum(partners)[:-1]))
-    positions = (np.arange(total) - np.repeat(offsets, partners)
-                 + np.repeat(np.arange(n), partners) + 1)
-    right = order[positions]
-    # Naive bucket order: buckets appear in first-member (= min tid) order.
-    group_min = order[starts][group_index]          # min row per position
-    rank = np.repeat(group_min, partners)
-    reorder = np.lexsort((right, left, rank))
+    # Naive bucket order: buckets appear in first-member (= min row) order.
+    row_group_min = np.repeat(order[starts], sizes)  # min row per position
+    reorder = np.lexsort((right, left, row_group_min[source]))
     return (left[reorder].astype(np.int64, copy=False),
             right[reorder].astype(np.int64, copy=False))
 
@@ -171,6 +183,112 @@ def matching_pairs(key1: np.ndarray,
     # sorted by row (stable sort over equal keys preserves row order), so
     # the stream is lexicographic (a, b) — same as the naive loop.
     return left, right
+
+
+# ---------------------------------------------------------------------------
+# Candidate-domain bucket joins (DC-factor grounding)
+# ---------------------------------------------------------------------------
+def bucket_memberships(codes: np.ndarray,
+                       tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise a candidate-membership scan into dense bucket ids.
+
+    ``codes``/``tids`` are parallel arrays listing, in scan order, which
+    candidate value (code) each tuple may take — the relation the naive
+    :class:`~repro.core.partition.PairEnumerator` builds its value→tuples
+    buckets from.  Returns one row per distinct ``(value, tid)`` pair as
+    ``(bucket_ids, member_tids)``, sorted by ``(bucket, tid)``, where
+    buckets are numbered by the first appearance of their value in the
+    scan — exactly the insertion order of the naive enumerator's bucket
+    dict.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    tids = np.asarray(tids, dtype=np.int64)
+    if not len(codes):
+        return _EMPTY, _EMPTY
+    _, first_idx, inverse = np.unique(codes, return_index=True,
+                                      return_inverse=True)
+    rank_of = np.empty(len(first_idx), dtype=np.int64)
+    rank_of[np.argsort(first_idx, kind="stable")] = np.arange(len(first_idx))
+    ranks = rank_of[inverse]
+    # One composite sort both dedups (value, tid) rows and orders them by
+    # (bucket rank, tid) — the order bucket-by-bucket enumeration needs.
+    stride = int(tids.max()) + 1
+    combined = np.unique(ranks * stride + tids)
+    return combined // stride, combined % stride
+
+
+def bucket_extents(bucket_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start offset and size of each bucket in a sorted membership.
+
+    ``bucket_ids`` must be sorted (as produced by
+    :func:`bucket_memberships`); buckets come back in ascending id order,
+    i.e. the naive enumerator's first-seen bucket order.
+    """
+    bucket_ids = np.asarray(bucket_ids)
+    if not len(bucket_ids):
+        return _EMPTY, _EMPTY
+    boundary = np.empty(len(bucket_ids), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = bucket_ids[1:] != bucket_ids[:-1]
+    starts = np.nonzero(boundary)[0]
+    sizes = np.diff(np.append(starts, len(bucket_ids)))
+    return starts, sizes
+
+
+def bucket_join_pairs(bucket_ids: np.ndarray,
+                      member_tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Deduped unordered pairs of tuples sharing a candidate bucket.
+
+    Input rows must be sorted by ``(bucket, tid)`` (see
+    :func:`bucket_memberships`).  Pairs are emitted bucket by bucket, in
+    nested-loop ``(left, right)`` order within each bucket, with a pair
+    kept only in the *first* bucket containing both tuples — the exact
+    stream (set and order) of the naive enumerator's bucket walk.
+    """
+    bucket_ids = np.asarray(bucket_ids, dtype=np.int64)
+    member_tids = np.asarray(member_tids, dtype=np.int64)
+    if not len(bucket_ids):
+        return _EMPTY, _EMPTY
+    starts, sizes = bucket_extents(bucket_ids)
+    left, right, _ = _expand_contiguous_pairs(member_tids, starts, sizes)
+    if not len(left):
+        return _EMPTY, _EMPTY
+    # Cross-bucket dedup keeping the first occurrence: the stream is
+    # already in emission order, so `np.unique(..., return_index=True)`
+    # marks each pair's earliest position and sorting those positions
+    # restores the order.
+    stride = int(member_tids.max()) + 1
+    _, first = np.unique(left * stride + right, return_index=True)
+    keep = np.sort(first)
+    return left[keep], right[keep]
+
+
+def bucket_pair_block(members: np.ndarray, start: int,
+                      budget: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """A bounded block of one bucket's nested-loop pairs.
+
+    For a single (sorted) bucket too large to materialise at once, emits
+    the pairs opened by leading members ``members[start:end)`` — in the
+    exact nested ``(i, j)`` order — choosing ``end`` so the block holds
+    roughly ``budget`` pairs (always at least one leading member).
+    Returns ``(left, right, end)``; the bucket is exhausted when ``end``
+    reaches ``len(members) - 1``.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    size = len(members)
+    if start >= size - 1:
+        return _EMPTY, _EMPTY, max(start, size - 1)
+    opened = size - 1 - np.arange(start, size - 1)
+    cumulative = np.cumsum(opened)
+    end = start + int(np.searchsorted(cumulative, budget, side="left")) + 1
+    end = min(end, size - 1)
+    counts = size - 1 - np.arange(start, end)
+    total = int(counts.sum())
+    left = np.repeat(members[start:end], counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = (np.arange(total) - np.repeat(offsets, counts)
+                 + np.repeat(np.arange(start, end), counts) + 1)
+    return left, members[positions], end
 
 
 def estimate_symmetric_pairs(keys: np.ndarray) -> int:

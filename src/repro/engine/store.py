@@ -15,12 +15,35 @@ with the naive oracle.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.dataset.dataset import Dataset
+from repro.dataset.dataset import Cell, Dataset
 
 #: Code reserved for NULL in every encoded column.
 NULL_CODE: int = -1
+
+
+@dataclass(frozen=True)
+class DomainCodeIndex:
+    """CSR candidate-code lists per tuple for one attribute.
+
+    ``codes[indptr[t]:indptr[t + 1]]`` are the codes of the values cell
+    ``(t, attribute)`` may take under a set of pruned candidate domains —
+    the join-feasibility side of Algorithm 1's grounding query.  Built by
+    :meth:`ColumnStore.domain_code_index`.
+    """
+
+    indptr: np.ndarray
+    codes: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    def row(self, tid: int) -> np.ndarray:
+        return self.codes[self.indptr[tid]:self.indptr[tid + 1]]
 
 
 class ColumnStore:
@@ -135,6 +158,68 @@ class ColumnStore:
         if (attr_a, attr_b) == key:
             return cached
         return cached[1], cached[0]
+
+    # ------------------------------------------------------------------
+    # Candidate-domain indexing (DC-factor grounding)
+    # ------------------------------------------------------------------
+    def union_codebook(self, *attributes: str) -> dict[str, int]:
+        """A value→code dictionary covering several attributes' values.
+
+        Codes follow the first attribute's dictionary order, then each
+        later attribute's yet-unseen values; equal strings always map to
+        equal codes, which is what cross-attribute join predicates
+        (``t1.A = t2.B``) need.
+        """
+        book: dict[str, int] = {}
+        for attr in attributes:
+            for value in self._values[attr]:
+                book.setdefault(value, len(book))
+        return book
+
+    def domain_code_index(self, attribute: str,
+                          domains: dict[Cell, list[str]],
+                          codebook: dict[str, int] | None = None) -> DomainCodeIndex:
+        """The cell→domain-codes index for one attribute.
+
+        Row ``t`` lists the codes of the candidate values of cell
+        ``(t, attribute)``: the pruned candidate domain for query cells in
+        ``domains`` (in domain order), the initial value for evidence
+        cells, and nothing for NULL evidence cells — mirroring the naive
+        enumerator's per-cell candidate scan exactly.
+
+        Codes are drawn from ``codebook`` (default: this attribute's own
+        dictionary); candidate values absent from it extend it *in place*,
+        so two indexes built over one shared codebook — e.g. via
+        :meth:`union_codebook` for a cross-attribute join — stay in one
+        code space.
+        """
+        if codebook is None:
+            codebook = dict(self._code_of[attribute])
+        lut = np.empty(max(len(self._values[attribute]), 1), dtype=np.int64)
+        for code, value in enumerate(self._values[attribute]):
+            lut[code] = codebook.setdefault(value, len(codebook))
+
+        overrides: dict[int, list[int]] = {}
+        for cell, domain in domains.items():
+            if cell.attribute == attribute:
+                overrides[cell.tid] = [codebook.setdefault(v, len(codebook))
+                                       for v in domain]
+
+        column = self._codes[attribute]
+        counts = (column >= 0).astype(np.int64)
+        for tid, domain_codes in overrides.items():
+            counts[tid] = len(domain_codes)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        codes = np.empty(int(indptr[-1]), dtype=np.int64)
+
+        evidence = column >= 0
+        if overrides:
+            evidence[np.fromiter(overrides, dtype=np.int64,
+                                 count=len(overrides))] = False
+        codes[indptr[:-1][evidence]] = lut[column[evidence]]
+        for tid, domain_codes in overrides.items():
+            codes[indptr[tid]:indptr[tid + 1]] = domain_codes
+        return DomainCodeIndex(indptr=indptr, codes=codes)
 
     def __repr__(self) -> str:
         return (f"ColumnStore(rows={self.num_rows}, "

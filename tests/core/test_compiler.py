@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.compiler import ModelCompiler
 from repro.core.config import HoloCleanConfig
-from repro.dataset.dataset import Cell
 from repro.detect.violations import ViolationDetector
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.errors import ErrorInjector
-from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.dataset import Dataset
 from repro.dataset.schema import Schema
 
 

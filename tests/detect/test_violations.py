@@ -5,7 +5,7 @@ import pytest
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.fd import parse_fd
 from repro.constraints.parser import parse_dc
-from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+from repro.constraints.predicates import Operator, Predicate, TupleRef
 from repro.dataset.dataset import Cell, Dataset
 from repro.dataset.schema import Schema
 from repro.detect.violations import QuadraticScanError, ViolationDetector
