@@ -20,6 +20,7 @@ bench:
 bench-ci:
 	$(PYTHON) benchmarks/bench_engine_grounding.py
 	$(PYTHON) benchmarks/bench_factor_grounding.py
+	$(PYTHON) benchmarks/bench_factor_tables.py
 	$(PYTHON) benchmarks/check_regression.py
 
 clean:

@@ -11,7 +11,10 @@ a NULL evaluates to False (it cannot contribute to a violation).
 from __future__ import annotations
 
 import enum
+import operator
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.constraints.similarity import similar
 
@@ -43,6 +46,17 @@ _NEGATIONS = {
     Operator.LTE: Operator.GT,
     Operator.SIM: Operator.NSIM,
     Operator.NSIM: Operator.SIM,
+}
+
+#: Element-wise comparison per ordering operator (vectorized path).
+#: ``operator.*`` dispatches through the array protocol, which — unlike
+#: the ``np.less`` ufunc family on older NumPy — also covers string
+#: dtypes everywhere.
+_ORDER_UFUNCS = {
+    Operator.LT: operator.lt,
+    Operator.GT: operator.gt,
+    Operator.LTE: operator.le,
+    Operator.GTE: operator.ge,
 }
 
 
@@ -80,6 +94,42 @@ def _coerce(a: str, b: str) -> tuple:
         return float(a), float(b)
     except (TypeError, ValueError):
         return a, b
+
+
+@dataclass(frozen=True)
+class OrderKeys:
+    """Vectorized comparison keys for one codebook's values.
+
+    Ordering predicates coerce pairwise — numeric when *both* operands
+    parse as floats, lexicographic otherwise — so the mixed comparator is
+    not a total order and cannot be captured by sort ranks alone (codes
+    cannot simply be re-numbered into an ordered codebook).  Instead each
+    value carries its parsed float (NaN-padded), a numeric flag, and its
+    string form; :meth:`Predicate.compare_coded` selects the numeric or
+    lexicographic comparison per element, reproducing :func:`_coerce`
+    exactly (including ``inf``/``nan`` parses and IEEE NaN semantics).
+
+    Arrays are padded to length ≥ 1 so gathers with clamped NULL codes
+    never index an empty array.
+    """
+
+    is_number: np.ndarray
+    numbers: np.ndarray
+    strings: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: list[str]) -> "OrderKeys":
+        n = max(len(values), 1)
+        is_number = np.zeros(n, dtype=bool)
+        numbers = np.full(n, np.nan, dtype=np.float64)
+        for code, value in enumerate(values):
+            try:
+                numbers[code] = float(value)
+            except (TypeError, ValueError):
+                continue
+            is_number[code] = True
+        strings = np.array(list(values) + [""] * (n - len(values)))
+        return cls(is_number=is_number, numbers=numbers, strings=strings)
 
 
 @dataclass(frozen=True)
@@ -122,6 +172,21 @@ class Predicate:
         """True for ``t1.A = t2.B`` — usable as a hash-join key."""
         return self.op is Operator.EQ and self.is_binary
 
+    @property
+    def is_code_comparable(self) -> bool:
+        """Whether :meth:`compare_coded` / :meth:`constant_mask` apply.
+
+        Everything except similarity between two tuple references is
+        evaluable in code space: equality compares shared codes, ordering
+        compares :class:`OrderKeys`, and constants (similarity included)
+        reduce to a per-code lookup table.  Binary similarity would need a
+        quadratic pairwise table, so those constraints stay on the naive
+        per-pair path.
+        """
+        if self.op not in (Operator.SIM, Operator.NSIM):
+            return True
+        return isinstance(self.right, Const)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -158,6 +223,63 @@ class Predicate:
         if op is Operator.LTE:
             return a <= b
         return a >= b  # GTE
+
+    # ------------------------------------------------------------------
+    # Code-space evaluation (vectorized grounding)
+    # ------------------------------------------------------------------
+    def constant_mask(self, values: list[str]) -> np.ndarray:
+        """Truth of ``value o α`` per code of a codebook (Const operand).
+
+        The returned boolean LUT is indexed by dictionary code; NULL
+        (code ``-1``) must be masked by the caller.  Each entry is
+        computed with :meth:`compare`, so the LUT is exact for every
+        operator — similarity included.
+        """
+        if not isinstance(self.right, Const):
+            raise ValueError(f"predicate has no constant operand: {self}")
+        alpha = self.right.value
+        mask = np.zeros(max(len(values), 1), dtype=bool)
+        for code, value in enumerate(values):
+            mask[code] = self.compare(value, alpha)
+        return mask
+
+    def compare_coded(self, left_codes: np.ndarray, right_codes: np.ndarray,
+                      keys: OrderKeys | None = None) -> np.ndarray:
+        """Vectorized :meth:`compare` over dictionary codes.
+
+        Both code arrays must be drawn from one shared codebook (equal
+        strings ⇒ equal codes; see :meth:`ColumnStore.union_codebook
+        <repro.engine.store.ColumnStore.union_codebook>`); ordering
+        operators additionally need that codebook's :class:`OrderKeys`.
+        NULL codes (``< 0``) never satisfy the predicate, mirroring
+        :meth:`evaluate`.  Operands broadcast like any NumPy arrays.
+        """
+        valid = (left_codes >= 0) & (right_codes >= 0)
+        op = self.op
+        if op is Operator.EQ:
+            return (left_codes == right_codes) & valid
+        if op is Operator.NEQ:
+            return (left_codes != right_codes) & valid
+        if op in (Operator.SIM, Operator.NSIM) or keys is None:
+            raise ValueError(
+                f"predicate is not code-comparable without a pairwise "
+                f"table: {self}")
+        compare = _ORDER_UFUNCS[op]
+        lhs = np.maximum(left_codes, 0)
+        rhs = np.maximum(right_codes, 0)
+        both_numeric = keys.is_number[lhs] & keys.is_number[rhs]
+        # Evaluate only the branch(es) actually selected: an all-numeric
+        # (or all-string) grid skips the dead comparison entirely instead
+        # of materialising it for np.where to discard.
+        if both_numeric.all():
+            out = compare(keys.numbers[lhs], keys.numbers[rhs])
+        elif not both_numeric.any():
+            out = compare(keys.strings[lhs], keys.strings[rhs])
+        else:
+            out = np.where(both_numeric,
+                           compare(keys.numbers[lhs], keys.numbers[rhs]),
+                           compare(keys.strings[lhs], keys.strings[rhs]))
+        return out & valid
 
     @staticmethod
     def _resolve(ref: TupleRef, values1: dict[str, str | None],

@@ -21,9 +21,10 @@ from repro.constraints.denial import DenialConstraint
 from repro.constraints.matching import MatchingDependency
 from repro.core.config import HoloCleanConfig
 from repro.core.domain import DomainPruner
+from repro.core.factor_tables import VectorFactorTableBuilder
 from repro.core.featurize import FeaturizationContext, default_featurizers
-from repro.core.partition import make_pair_enumerator
-from repro.core.relations import CompiledRelations
+from repro.core.partition import VectorPairEnumerator, make_pair_enumerator
+from repro.core.relations import CompiledRelations, init_value_relation
 from repro.core import rules as ddlog
 from repro.dataset.dataset import Cell, Dataset
 from repro.dataset.stats import Statistics
@@ -100,6 +101,14 @@ class ModelCompiler:
         evidence_cells = self._sample_evidence(set(query_domains))
         evidence_domains = pruner.domains(evidence_cells)
 
+        # The slice of the InitValue relation this model grounds against,
+        # materialised once (column-decoded by the engine when available)
+        # and consulted for every variable's initial value instead of
+        # per-cell dataset probes.
+        init_values = init_value_relation(
+            self.dataset, engine=self.engine,
+            cells=[*sorted(query_domains), *sorted(evidence_domains)])
+
         matched = self._ground_matched()
         context = FeaturizationContext(self.dataset, self.stats, config,
                                        matched=matched)
@@ -113,7 +122,7 @@ class ModelCompiler:
         weak_candidates: list[tuple[int, int]] = []
         for cell in sorted(query_domains):
             domain = query_domains[cell]
-            init = self.dataset.cell_value(cell)
+            init = init_values[cell]
             init_index = domain.index(init) if init in domain else -1
             info = variables.add(cell, domain, init_index, is_evidence=False)
             vid = builder.start_variable(len(domain))
@@ -128,7 +137,7 @@ class ModelCompiler:
         evidence_labels: list[int] = []
         for cell in sorted(evidence_domains):
             domain = self._with_negatives(cell, evidence_domains[cell])
-            init = self.dataset.cell_value(cell)
+            init = init_values[cell]
             if init is None or init not in domain or len(domain) < 2:
                 continue  # no training signal in a singleton/unlabelled cell
             info = variables.add(cell, domain, domain.index(init),
@@ -151,7 +160,8 @@ class ModelCompiler:
 
         relations = CompiledRelations(self.dataset,
                                       {**query_domains, **evidence_domains},
-                                      matched=matched)
+                                      matched=matched,
+                                      init_values=init_values)
         program = ddlog.compile_program(
             self.constraints,
             use_dc_feats=config.use_dc_feats,
@@ -233,21 +243,33 @@ class ModelCompiler:
         return extended[: self.config.max_domain]
 
     def _sample_evidence(self, query_cells: set[Cell]) -> list[Cell]:
-        """Clean cells used as ERM evidence, subsampled for scale."""
+        """Clean cells used as ERM evidence, subsampled for scale.
+
+        The clean mask is built as one boolean grid (tuples × repairable
+        attributes, row-major — the order the old per-cell list
+        comprehension produced) and only the subsampled cells are
+        materialised as :class:`Cell` objects; same cells, same RNG
+        stream, without constructing one Python object per clean cell
+        first.
+        """
         repairable = self.dataset.schema.data_attributes
-        clean = [
-            Cell(tid, a)
-            for tid in self.dataset.tuple_ids
-            for a in repairable
-            if Cell(tid, a) not in self.detection.noisy_cells
-            and Cell(tid, a) not in query_cells
-        ]
+        num_tuples = self.dataset.num_tuples
+        column_of = {attr: i for i, attr in enumerate(repairable)}
+        clean = np.ones((num_tuples, len(repairable)), dtype=bool)
+        for cells in (self.detection.noisy_cells, query_cells):
+            for cell in cells:
+                column = column_of.get(cell.attribute)
+                if column is not None:
+                    clean[cell.tid, column] = False
+        flat = np.nonzero(clean.ravel())[0]
         cap = self.config.max_training_cells
-        if cap is not None and len(clean) > cap:
+        if cap is not None and len(flat) > cap:
             rng = np.random.default_rng(self.config.seed)
-            picked = rng.choice(len(clean), size=cap, replace=False)
-            clean = [clean[i] for i in sorted(picked)]
-        return clean
+            picked = rng.choice(len(flat), size=cap, replace=False)
+            flat = flat[np.sort(picked)]
+        width = len(repairable)
+        return [Cell(int(i // width), repairable[i % width])
+                for i in flat.tolist()]
 
     def _ground_matched(self):
         if not (self.config.use_external and self.dictionaries
@@ -271,11 +293,29 @@ class ModelCompiler:
             chunk_pairs=config.factor_chunk_pairs,
             stream_budget=config.factor_stream_budget)
         hypergraph = self.detection.hypergraph
+        # With the engine enumerator, factor tables are built set-at-a-time
+        # over the column store; constraints it cannot vectorize (binary
+        # similarity) fall back to the per-pair oracle below.
+        builder = None
+        if isinstance(enumerator, VectorPairEnumerator):
+            builder = VectorFactorTableBuilder(
+                self.engine, self.dataset, graph.variables, query_domains,
+                max_table_cells=config.max_factor_table,
+                weight=config.dc_factor_weight)
         skipped = 0
         pairs = 0
         for dc in self.constraints:
             if dc.is_single_tuple:
                 skipped += self._ground_single_tuple_factors(graph, dc)
+                continue
+            if builder is not None and builder.supports(dc):
+                for left, right in enumerator.pair_chunks(
+                        dc, config.use_partitioning, hypergraph):
+                    pairs += len(left)
+                    factors, chunk_skipped = builder.ground_chunk(
+                        dc, left, right)
+                    graph.add_factors(factors)
+                    skipped += chunk_skipped
                 continue
             for t1, t2 in enumerator.pairs_for(dc, config.use_partitioning,
                                                hypergraph):
@@ -288,6 +328,10 @@ class ModelCompiler:
         # The pairs actually walked by the grounding loop is authoritative
         # (the enumerator's own counter must not shadow it).
         grounding["pairs"] = pairs
+        if builder is not None:
+            grounding.update(
+                {f"table_{key}": value
+                 for key, value in builder.stats.items()})
         return skipped, grounding
 
     def _ground_single_tuple_factors(self, graph: FactorGraph,

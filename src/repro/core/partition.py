@@ -69,6 +69,10 @@ class PairEnumerator:
         paper's grounding would simply take correspondingly longer).
     """
 
+    #: Batch size of the base-class :meth:`pair_chunks` adapter (the
+    #: engine enumerator overrides it per instance).
+    chunk_pairs: int = 65_536
+
     def __init__(self, dataset: Dataset, domains: dict[Cell, list[str]],
                  max_pairs: int = 200_000):
         self.dataset = dataset
@@ -157,6 +161,27 @@ class PairEnumerator:
                     yield pair
                     if len(seen) >= self.max_pairs:
                         return
+
+    def pair_chunks(self, dc: DenialConstraint, use_partitioning: bool = False,
+                    hypergraph: ConflictHypergraph | None = None):
+        """The :meth:`pairs_for` stream as ``(left, right)`` array chunks.
+
+        Part of the enumerator contract so bulk consumers (the vectorized
+        factor-table builder, benchmarks) can iterate chunks regardless
+        of the enumerator kind; the engine enumerator overrides this with
+        its native columnar product.  Concatenated chunks equal the tuple
+        stream exactly — same pairs, same order, same cap.
+        """
+        buffer: list[tuple[int, int]] = []
+        for pair in self.pairs_for(dc, use_partitioning, hypergraph):
+            buffer.append(pair)
+            if len(buffer) >= self.chunk_pairs:
+                chunk = np.asarray(buffer, dtype=np.int64)
+                buffer.clear()
+                yield chunk[:, 0], chunk[:, 1]
+        if buffer:
+            chunk = np.asarray(buffer, dtype=np.int64)
+            yield chunk[:, 0], chunk[:, 1]
 
 
 class VectorPairEnumerator(PairEnumerator):
@@ -520,16 +545,14 @@ def _merge_csr(index1, index2) -> tuple[np.ndarray, np.ndarray]:
     ``index2``'s — the order the naive enumerator scans a tuple's two
     join-attribute cells.  Both indexes must share one codebook.
     """
+    from repro.engine.ops import expand_ranges
+
     counts1 = np.diff(index1.indptr)
     counts2 = np.diff(index2.indptr)
     indptr = np.concatenate(([0], np.cumsum(counts1 + counts2)))
     codes = np.empty(int(indptr[-1]), dtype=np.int64)
-    within1 = (np.arange(int(counts1.sum()))
-               - np.repeat(np.cumsum(counts1) - counts1, counts1))
-    codes[np.repeat(indptr[:-1], counts1) + within1] = index1.codes
-    within2 = (np.arange(int(counts2.sum()))
-               - np.repeat(np.cumsum(counts2) - counts2, counts2))
-    codes[np.repeat(indptr[:-1] + counts1, counts2) + within2] = index2.codes
+    codes[expand_ranges(indptr[:-1], counts1)] = index1.codes
+    codes[expand_ranges(indptr[:-1] + counts1, counts2)] = index2.codes
     return indptr, codes
 
 
@@ -541,12 +564,10 @@ def _take_rows(indptr: np.ndarray, codes: np.ndarray, tids: np.ndarray,
     number of rows contributed by ``tids[k]`` (so callers can repeat
     further per-tid labels alongside).
     """
+    from repro.engine.ops import expand_ranges
+
     counts = indptr[tids + 1] - indptr[tids]
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, counts
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    within = np.arange(total) - np.repeat(offsets, counts)
-    source = np.repeat(indptr[tids], counts) + within
+    source = expand_ranges(indptr[tids], counts)
+    if not len(source):
+        return source, source, counts
     return codes[source], np.repeat(tids, counts), counts

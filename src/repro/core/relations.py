@@ -27,18 +27,34 @@ def tuple_relation(dataset: Dataset) -> range:
 
 def init_value_relation(dataset: Dataset,
                         attributes: list[str] | None = None,
-                        engine: "Engine | None" = None) -> dict[Cell, str | None]:
+                        engine: "Engine | None" = None,
+                        cells=None) -> dict[Cell, str | None]:
     """``InitValue(t, a, v)``: every cell's initial observed value.
 
     With an engine, values are decoded column-at-a-time from the columnar
     store instead of probing the row store cell-by-cell; the resulting
-    mapping (including its row-major key order) is identical.
+    mapping (including its key order) is identical.  ``cells`` restricts
+    the relation to the given cells (in their iteration order) — what the
+    compiler uses to materialise exactly the slice of ``InitValue`` its
+    variables ground against, instead of all ``|D| × |attrs|`` cells.
     """
+    if cells is not None:
+        if engine is not None and engine.dataset is dataset:
+            columns: dict[str, list[str | None]] = {}
+            out: dict[Cell, str | None] = {}
+            for cell in cells:
+                column = columns.get(cell.attribute)
+                if column is None:
+                    column = engine.store.decoded_column(cell.attribute)
+                    columns[cell.attribute] = column
+                out[cell] = column[cell.tid]
+            return out
+        return {cell: dataset.cell_value(cell) for cell in cells}
     attrs = attributes or dataset.schema.names
     if engine is not None and engine.dataset is dataset:
-        columns = {a: engine.store.decoded_column(a) for a in attrs}
+        full_columns = {a: engine.store.decoded_column(a) for a in attrs}
         return {
-            Cell(tid, a): columns[a][tid]
+            Cell(tid, a): full_columns[a][tid]
             for tid in dataset.tuple_ids
             for a in attrs
         }
@@ -56,15 +72,24 @@ def domain_relation(pruner: DomainPruner, cells) -> dict[Cell, list[str]]:
 
 @dataclass
 class CompiledRelations:
-    """The materialised relations behind one compiled model."""
+    """The materialised relations behind one compiled model.
+
+    ``init_values`` is the materialised ``InitValue`` relation the
+    compiler grounded against (column-decoded by the engine when one is
+    available); cells outside it — attributes the model never touched —
+    fall back to a live dataset probe.
+    """
 
     dataset: Dataset
     domain: dict[Cell, list[str]]
     matched: list[MatchedRelation] = field(default_factory=list)
+    init_values: dict[Cell, str | None] = field(default_factory=dict)
 
     @property
     def num_random_variables(self) -> int:
         return len(self.domain)
 
     def init_value(self, cell: Cell) -> str | None:
+        if cell in self.init_values:
+            return self.init_values[cell]
         return self.dataset.cell_value(cell)

@@ -77,20 +77,28 @@ class Statistics:
     def pair_counts(self, attr_a: str, attr_b: str) -> Counter:
         """(value_a, value_b) → co-occurrence count for an attribute pair.
 
-        Symmetric data is stored once under the sorted key; lookups swap
-        the tuple as needed.
+        The underlying scan runs once per unordered pair (under the
+        sorted key); the swapped orientation is derived from it and
+        cached too, so callers on Algorithm 2's inner loop and the
+        co-occurrence featurizer never rebuild the counter per call.
+        Returned counters are shared caches — callers must not mutate
+        them.
         """
         if attr_a == attr_b:
             raise ValueError("co-occurrence requires two distinct attributes")
-        key = (attr_a, attr_b) if attr_a <= attr_b else (attr_b, attr_a)
-        cached = self._pair.get(key)
-        if cached is None:
-            cached = self._build_pair_counts(key)
-            self._pair[key] = cached
-        if (attr_a, attr_b) == key:
+        cached = self._pair.get((attr_a, attr_b))
+        if cached is not None:
             return cached
-        # Present the cached symmetric counter in caller order.
-        swapped = Counter({(b, a): n for (a, b), n in cached.items()})
+        key = (attr_a, attr_b) if attr_a <= attr_b else (attr_b, attr_a)
+        base = self._pair.get(key)
+        if base is None:
+            base = self._build_pair_counts(key)
+            self._pair[key] = base
+        if (attr_a, attr_b) == key:
+            return base
+        # Present (and cache) the symmetric counter in caller order.
+        swapped = Counter({(b, a): n for (a, b), n in base.items()})
+        self._pair[(attr_a, attr_b)] = swapped
         return swapped
 
     def _build_pair_counts(self, key: tuple[str, str]) -> Counter:

@@ -19,6 +19,25 @@ import numpy as np
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """The concatenation of ``[starts[k], starts[k] + counts[k])`` ranges.
+
+    The shared kernel of every variable-width gather in the engine:
+    expanding CSR rows, hash-join probe buckets, and sparse-matrix row
+    slices all reduce to "for each ``k``, the ``counts[k]`` consecutive
+    indices from ``starts[k]``" — flattened here with one
+    repeat/cumsum pass instead of a Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, counts)
+    return np.repeat(starts, counts) + within
+
+
 def combine_codes(columns: list[np.ndarray]) -> np.ndarray:
     """Collapse several coded columns into one composite key column.
 
@@ -117,12 +136,10 @@ def _expand_contiguous_pairs(values: np.ndarray, starts: np.ndarray,
     group_index = np.cumsum(boundary) - 1           # group id per position
     ends = (starts + sizes)[group_index]            # exclusive end per position
     partners = ends - np.arange(n) - 1              # pairs each position opens
-    total = int(partners.sum())
-    if total == 0:
+    if not partners.sum():
         return _EMPTY, _EMPTY, _EMPTY
     source = np.repeat(np.arange(n), partners)
-    offsets = np.concatenate(([0], np.cumsum(partners)[:-1]))
-    positions = np.arange(total) - np.repeat(offsets, partners) + source + 1
+    positions = expand_ranges(np.arange(1, n + 1), partners)
     return np.repeat(values, partners), values[positions], source
 
 
@@ -170,13 +187,10 @@ def matching_pairs(key1: np.ndarray,
     lo = np.searchsorted(build_keys, key1[probe_rows], side="left")
     hi = np.searchsorted(build_keys, key1[probe_rows], side="right")
     counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
+    if not counts.sum():
         return _EMPTY, _EMPTY
     left = np.repeat(probe_rows, counts)
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    positions = np.arange(total) - np.repeat(offsets, counts) + np.repeat(lo, counts)
-    right = build_order[positions]
+    right = build_order[expand_ranges(lo, counts)]
     keep = left != right
     left, right = left[keep], right[keep]
     # Probe rows ascend already; within one probe row the build bucket is
@@ -215,6 +229,21 @@ def bucket_memberships(codes: np.ndarray,
     stride = int(tids.max()) + 1
     combined = np.unique(ranks * stride + tids)
     return combined // stride, combined % stride
+
+
+def gather_csr_rows(indptr: np.ndarray, codes: np.ndarray, rows: np.ndarray,
+                    width: int) -> np.ndarray:
+    """Equal-width CSR rows gathered into a dense ``(len(rows), width)`` grid.
+
+    Every selected row must hold exactly ``width`` codes (the caller
+    groups rows by width first); the grid preserves each row's code
+    order.  This is the candidate-axis materialisation of the vectorized
+    factor-table builder: one gather replaces ``len(rows)`` Python-level
+    domain walks.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = np.asarray(indptr, dtype=np.int64)[rows]
+    return np.asarray(codes)[starts[:, None] + np.arange(width, dtype=np.int64)]
 
 
 def bucket_extents(bucket_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -283,11 +312,8 @@ def bucket_pair_block(members: np.ndarray, start: int,
     end = start + int(np.searchsorted(cumulative, budget, side="left")) + 1
     end = min(end, size - 1)
     counts = size - 1 - np.arange(start, end)
-    total = int(counts.sum())
     left = np.repeat(members[start:end], counts)
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    positions = (np.arange(total) - np.repeat(offsets, counts)
-                 + np.repeat(np.arange(start, end), counts) + 1)
+    positions = expand_ranges(np.arange(start + 1, end + 1), counts)
     return left, members[positions], end
 
 

@@ -176,6 +176,25 @@ class ColumnStore:
                 book.setdefault(value, len(book))
         return book
 
+    def recoded_column(self, attribute: str,
+                       codebook: dict[str, int]) -> np.ndarray:
+        """The whole column re-coded into ``codebook`` (NULL stays ``-1``).
+
+        Values absent from ``codebook`` extend it in place, the same
+        convention as :meth:`domain_code_index` — so fixed-context codes
+        and candidate-domain codes drawn from one codebook stay
+        comparable.  Used by the vectorized factor-table builder for the
+        cells a denial constraint reads at their observed values.
+        """
+        lut = np.empty(max(len(self._values[attribute]), 1), dtype=np.int64)
+        for code, value in enumerate(self._values[attribute]):
+            lut[code] = codebook.setdefault(value, len(codebook))
+        column = self._codes[attribute]
+        out = np.full(len(column), NULL_CODE, dtype=np.int64)
+        valid = column >= 0
+        out[valid] = lut[column[valid]]
+        return out
+
     def domain_code_index(self, attribute: str,
                           domains: dict[Cell, list[str]],
                           codebook: dict[str, int] | None = None) -> DomainCodeIndex:

@@ -80,6 +80,20 @@ class FactorGraph:
         self.factors.append(factor)
         self._adjacency = None
 
+    def add_factors(self, factors) -> int:
+        """Append a batch of factors, preserving grounding order.
+
+        The bulk sink of the vectorized factor-table builder: one call
+        per pair chunk instead of one per factor.  Returns the number of
+        factors added.
+        """
+        before = len(self.factors)
+        self.factors.extend(factors)
+        added = len(self.factors) - before
+        if added:
+            self._adjacency = None
+        return added
+
     def adjacency(self) -> dict[int, list[int]]:
         """Variable id → indexes of factors touching it (built lazily)."""
         if self._adjacency is None:

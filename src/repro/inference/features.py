@@ -123,6 +123,32 @@ class FeatureMatrix:
         return np.bincount(self.entry_row_ids(), weights=contributions,
                            minlength=self.num_rows).astype(np.float64)
 
+    def scores_for_rows(self, rows: np.ndarray,
+                        weights: np.ndarray) -> np.ndarray:
+        """θ·x for the given rows only, in the given row order.
+
+        Gathers just those rows' sparse entries instead of scoring the
+        whole matrix — the marginal-inference fast path when only a few
+        query variables are requested.  Per-row entries are summed in
+        storage order, so each score is bit-identical to the matching
+        entry of :meth:`scores`.
+        """
+        if len(weights) != self.num_features:
+            raise ValueError(
+                f"weight vector has {len(weights)} entries, "
+                f"feature space has {self.num_features}")
+        from repro.engine.ops import expand_ranges
+
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = self.row_ptr[rows + 1] - self.row_ptr[rows]
+        source = expand_ranges(self.row_ptr[rows], counts)
+        if not len(source):
+            return np.zeros(len(rows), dtype=np.float64)
+        contributions = weights[self.indices[source]] * self.values[source]
+        compact_ids = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        return np.bincount(compact_ids, weights=contributions,
+                           minlength=len(rows)).astype(np.float64)
+
     def rows_of(self, var: int) -> range:
         return range(int(self.var_row_start[var]), int(self.var_row_start[var + 1]))
 

@@ -204,13 +204,26 @@ class SoftmaxTrainer:
     # ------------------------------------------------------------------
     def marginals(self, weights: np.ndarray,
                   var_ids: list[int]) -> dict[int, np.ndarray]:
-        """Exact per-variable softmax marginals for the given variables."""
-        m = self.matrix
-        scores = m.scores(weights)
+        """Exact per-variable softmax marginals for the given variables.
+
+        Only the requested variables' candidate rows are scored — asking
+        for a handful of query variables no longer pays for a θ·x pass
+        over the whole matrix.
+        """
+        from repro.engine.ops import expand_ranges
+
         out: dict[int, np.ndarray] = {}
-        for v in var_ids:
-            lo, hi = int(m.var_row_start[v]), int(m.var_row_start[v + 1])
-            s = scores[lo:hi]
+        if not len(var_ids):
+            return out
+        m = self.matrix
+        starts = m.var_row_start
+        var_arr = np.asarray(var_ids, dtype=np.int64)
+        sizes = starts[var_arr + 1] - starts[var_arr]
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        rows = expand_ranges(starts[var_arr], sizes)
+        scores = m.scores_for_rows(rows, weights)
+        for k, v in enumerate(var_ids):
+            s = scores[offsets[k]:offsets[k] + sizes[k]]
             e = np.exp(s - s.max())
             out[v] = e / e.sum()
         return out

@@ -95,3 +95,68 @@ class TestStructure:
 
     def test_str(self):
         assert str(pred(Operator.EQ)) == "t1.A = t2.A"
+
+
+class TestCodeSpaceEvaluation:
+    """The vectorized evaluators must agree with ``compare`` exactly.
+
+    The value set mixes numerics, strings, and numeric-looking strings
+    whose numeric and lexicographic orders disagree ("10" < "9" as
+    strings, 9 < 10 as floats), plus ``inf``/``nan`` parses — the cases
+    where a rank-based "ordered codebook" would get pairwise coercion
+    wrong.
+    """
+
+    VALUES = ["10", "9", "5a", "", "nan", "inf", "2.50", "2.5", "b", "-3"]
+
+    @pytest.mark.parametrize("op", [Operator.EQ, Operator.NEQ, Operator.LT,
+                                    Operator.GT, Operator.LTE, Operator.GTE])
+    def test_compare_coded_matches_compare(self, op):
+        import itertools
+
+        import numpy as np
+
+        from repro.constraints.predicates import OrderKeys
+
+        predicate = pred(op)
+        keys = OrderKeys.from_values(self.VALUES)
+        pairs = list(itertools.product(range(len(self.VALUES)), repeat=2))
+        left = np.array([a for a, _ in pairs])
+        right = np.array([b for _, b in pairs])
+        coded = predicate.compare_coded(left, right, keys)
+        for (a, b), got in zip(pairs, coded.tolist()):
+            expected = predicate.compare(self.VALUES[a], self.VALUES[b])
+            assert got == expected, (self.VALUES[a], op, self.VALUES[b])
+
+    def test_null_codes_never_satisfy(self):
+        import numpy as np
+
+        from repro.constraints.predicates import OrderKeys
+
+        keys = OrderKeys.from_values(self.VALUES)
+        left = np.array([-1, 0, -1])
+        right = np.array([0, -1, -1])
+        for op in (Operator.EQ, Operator.NEQ, Operator.LT, Operator.GTE):
+            assert not pred(op).compare_coded(left, right, keys).any()
+
+    @pytest.mark.parametrize("op", [Operator.EQ, Operator.NEQ, Operator.LT,
+                                    Operator.GTE, Operator.SIM,
+                                    Operator.NSIM])
+    def test_constant_mask_matches_compare(self, op):
+        predicate = Predicate(TupleRef(1, "A"), op, Const("2.5"))
+        mask = predicate.constant_mask(self.VALUES)
+        for code, value in enumerate(self.VALUES):
+            assert mask[code] == predicate.compare(value, "2.5"), (value, op)
+
+    def test_binary_similarity_is_not_code_comparable(self):
+        assert not pred(Operator.SIM).is_code_comparable
+        assert not pred(Operator.NSIM).is_code_comparable
+        assert pred(Operator.LT).is_code_comparable
+        const_sim = Predicate(TupleRef(1, "A"), Operator.SIM, Const("x"))
+        assert const_sim.is_code_comparable
+
+    def test_order_without_keys_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="code-comparable"):
+            pred(Operator.LT).compare_coded(np.array([0]), np.array([1]))

@@ -120,3 +120,67 @@ class TestProgramAndReport:
         fixed = model.graph.space.fixed_weights
         idx = model.graph.space.get(("minimality",))
         assert idx is not None and idx in fixed
+
+
+class TestEvidenceSampling:
+    def test_mask_sampler_matches_reference(self, figure1_dataset,
+                                            figure1_constraints):
+        """The vectorized clean-cell sampler selects exactly the cells the
+        old per-cell list comprehension selected — same order, same RNG
+        stream — with and without the training cap."""
+        import numpy as np
+
+        from repro.dataset.dataset import Cell
+
+        detection = ViolationDetector(figure1_constraints).detect(
+            figure1_dataset)
+        repairable = figure1_dataset.schema.data_attributes
+        query_cells = {c for c in detection.noisy_cells
+                       if c.attribute in set(repairable)}
+        for cap in (None, 5, 2):
+            config = HoloCleanConfig(tau=0.3, seed=1, max_training_cells=cap)
+            compiler = ModelCompiler(figure1_dataset, figure1_constraints,
+                                     config, detection)
+            reference = [
+                Cell(tid, a)
+                for tid in figure1_dataset.tuple_ids
+                for a in repairable
+                if Cell(tid, a) not in detection.noisy_cells
+                and Cell(tid, a) not in query_cells
+            ]
+            if cap is not None and len(reference) > cap:
+                rng = np.random.default_rng(config.seed)
+                picked = rng.choice(len(reference), size=cap, replace=False)
+                reference = [reference[i] for i in sorted(picked)]
+            assert compiler._sample_evidence(query_cells) == reference, cap
+
+
+class TestInitValueRelation:
+    def test_relations_materialise_init_values(self, compiled,
+                                               figure1_dataset):
+        model, _ = compiled
+        relations = model.relations
+        assert relations.init_values, "InitValue relation not materialised"
+        for cell, value in relations.init_values.items():
+            assert value == figure1_dataset.cell_value(cell)
+            assert relations.init_value(cell) == value
+
+    def test_engine_and_naive_relations_identical(self, figure1_dataset,
+                                                  figure1_constraints):
+        """The compiler grounds against the engine-decoded InitValue
+        relation in production; it must equal the naive probe map, key
+        order included."""
+        from repro.engine import Engine
+
+        config = HoloCleanConfig(tau=0.3, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(
+            figure1_dataset)
+        naive = ModelCompiler(figure1_dataset, figure1_constraints,
+                              config.with_(use_engine=False), detection,
+                              engine=None).compile()
+        fast = ModelCompiler(figure1_dataset, figure1_constraints, config,
+                             detection,
+                             engine=Engine(figure1_dataset)).compile()
+        assert fast.relations.init_values == naive.relations.init_values
+        assert (list(fast.relations.init_values)
+                == list(naive.relations.init_values))

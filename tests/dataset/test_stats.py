@@ -94,3 +94,25 @@ class TestInvalidation:
         stats.dataset.set_value(3, "City", "Chicago")  # fix the typo
         stats.invalidate()
         assert stats.frequency("City", "Chicago") == 4
+
+
+class TestPairCountCaching:
+    def test_swapped_orientation_cached(self, stats):
+        """Both caller orders are served from cache after the first call.
+
+        The swapped ``Counter`` used to be rebuilt from scratch on every
+        call — on Algorithm 2's inner loop and the co-occurrence
+        featurizer, once per cell.
+        """
+        forward = stats.pair_counts("City", "Zip")
+        swapped = stats.pair_counts("Zip", "City")
+        assert stats.pair_counts("City", "Zip") is forward
+        assert stats.pair_counts("Zip", "City") is swapped
+        assert swapped == {(b, a): n for (a, b), n in forward.items()}
+
+    def test_swapped_orientation_invalidated(self, stats):
+        stats.pair_counts("Zip", "City")
+        stats.dataset.set_value(3, "City", "Chicago")
+        stats.invalidate()
+        after = stats.pair_counts("Zip", "City")
+        assert after[("60609", "Chicago")] == 1

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.constraints.denial import DenialConstraint
-from repro.constraints.predicates import Operator, Predicate, TupleRef
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
 from repro.core.compiler import ModelCompiler
 from repro.core.config import HoloCleanConfig
 from repro.core.domain import DomainPruner
@@ -213,6 +213,103 @@ def test_factor_graphs_identical(backend, use_partitioning, hospital):
     assert engine_model.grounding["pairs"] == naive_model.grounding["pairs"]
     assert engine_model.grounding["enumerator"] == "VectorPairEnumerator"
     assert naive_model.grounding["enumerator"] == "PairEnumerator"
+    # Every enumerated pair went through the batched table builder (no
+    # silent fallback to the per-pair loop).
+    assert (engine_model.grounding["table_pairs"]
+            == engine_model.grounding["pairs"] > 0)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized factor-table construction: byte-identical grounded graphs
+# ---------------------------------------------------------------------------
+# Values mix numerics, strings, and numeric-looking strings whose numeric
+# and lexicographic orders disagree ("10" < "9" as strings) — the
+# adversarial cases for code-space inequality evaluation — plus NULLs.
+TABLE_VALUE = st.sampled_from(["1", "2", "10", "9", "5a", None])
+TABLE_ROWS = st.lists(st.tuples(TABLE_VALUE, TABLE_VALUE, TABLE_VALUE),
+                      min_size=2, max_size=14)
+
+TABLE_DCS = [
+    # FD-style symmetric join with inequality residual.
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+        Predicate(TupleRef(1, "B"), Operator.NEQ, TupleRef(2, "B")),
+    ], name="fd_a_b"),
+    # Ordering predicate across tuples (OrderKeys, mixed coercion).
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+        Predicate(TupleRef(1, "C"), Operator.LT, TupleRef(2, "C")),
+    ], name="ord_c"),
+    # Cross-attribute join plus a constant ordering predicate.
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "B")),
+        Predicate(TupleRef(1, "C"), Operator.GTE, Const("2")),
+    ], name="cross_const"),
+    # Same-tuple ordering inside a two-tuple constraint.
+    DenialConstraint([
+        Predicate(TupleRef(1, "B"), Operator.EQ, TupleRef(2, "B")),
+        Predicate(TupleRef(1, "A"), Operator.GT, TupleRef(1, "C")),
+    ], name="same_tuple_ord"),
+    # Single-tuple constraint (grounded per tuple, not per pair).
+    DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(1, "B")),
+    ], name="single_ab"),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=TABLE_ROWS, max_table=st.sampled_from([1, 6, 4096]),
+       use_partitioning=st.booleans())
+def test_vectorized_tables_match_naive(rows, max_table, use_partitioning):
+    """Engine-grounded factor graphs equal the per-pair oracle byte for
+    byte — table contents, var-id order, and skip counts — across NULLs,
+    inequality predicates, single-tuple DCs, and ``max_factor_table``
+    caps."""
+    dataset = Dataset(Schema(["A", "B", "C"]), [list(r) for r in rows])
+    detection = ViolationDetector(TABLE_DCS).detect(dataset)
+    config = HoloCleanConfig(use_dc_factors=True,
+                             use_partitioning=use_partitioning,
+                             tau=0.1, max_factor_table=max_table)
+    naive_model = ModelCompiler(dataset, TABLE_DCS,
+                                config.with_(use_engine=False), detection,
+                                engine=None).compile()
+    expected = factor_signature(naive_model.graph)
+    for backend in BACKENDS:
+        engine = Engine(dataset, backend=backend)
+        engine_model = ModelCompiler(dataset, TABLE_DCS,
+                                     config.with_(engine_backend=backend),
+                                     detection, engine=engine).compile()
+        assert factor_signature(engine_model.graph) == expected, \
+            (backend, max_table, use_partitioning)
+        assert engine_model.skipped_factors == naive_model.skipped_factors
+        assert (engine_model.grounding["pairs"]
+                == naive_model.grounding["pairs"])
+
+
+def test_binary_similarity_falls_back_to_oracle():
+    """Constraints the builder cannot vectorize (binary similarity) still
+    ground identically through the per-pair fallback."""
+    rows = [["x", "Chicago"], ["x", "Chicagoo"], ["x", "Boston"],
+            ["y", "Chicago"], ["y", "Chicagoo"], ["x", None]]
+    dataset = Dataset(Schema(["A", "B"]), rows)
+    dc = DenialConstraint([
+        Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+        Predicate(TupleRef(1, "B"), Operator.SIM, TupleRef(2, "B")),
+        Predicate(TupleRef(1, "B"), Operator.NEQ, TupleRef(2, "B")),
+    ], name="sim_dc")
+    detection = ViolationDetector([dc]).detect(dataset)
+    config = HoloCleanConfig(use_dc_factors=True, tau=0.1)
+    naive_model = ModelCompiler(dataset, [dc],
+                                config.with_(use_engine=False), detection,
+                                engine=None).compile()
+    engine_model = ModelCompiler(dataset, [dc], config, detection,
+                                 engine=Engine(dataset)).compile()
+    assert factor_signature(engine_model.graph) \
+        == factor_signature(naive_model.graph)
+    assert len(engine_model.graph.factors) > 0
+    # The vectorized builder never saw these pairs.
+    assert engine_model.grounding["table_pairs"] == 0
+    assert engine_model.grounding["pairs"] > 0
 
 
 # ---------------------------------------------------------------------------

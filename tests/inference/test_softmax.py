@@ -97,3 +97,27 @@ class TestMarginals:
         result = trainer.train(list(range(matrix.num_vars)), labels)
         marginals = trainer.marginals(result.weights, [0])
         assert marginals[0][labels[0]] > 0.5
+
+
+class TestRestrictedMarginals:
+    def test_subset_matches_full_scores(self):
+        """Scoring only the requested rows reproduces the full pass bit
+        for bit (same entries, same summation order)."""
+        matrix, _, labels = build_separable()
+        trainer = SoftmaxTrainer(matrix, epochs=20)
+        weights = trainer.train(list(range(matrix.num_vars)), labels).weights
+        scores = matrix.scores(weights)
+        for var_ids in ([2], [0, 3], list(range(matrix.num_vars))):
+            marginals = trainer.marginals(weights, var_ids)
+            assert sorted(marginals) == sorted(var_ids)
+            for v in var_ids:
+                lo = int(matrix.var_row_start[v])
+                hi = int(matrix.var_row_start[v + 1])
+                s = scores[lo:hi]
+                e = np.exp(s - s.max())
+                assert np.array_equal(marginals[v], e / e.sum())
+
+    def test_empty_request(self):
+        matrix, _, _ = build_separable()
+        trainer = SoftmaxTrainer(matrix)
+        assert trainer.marginals(np.zeros(matrix.num_features), []) == {}
