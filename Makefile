@@ -21,6 +21,7 @@ bench-ci:
 	$(PYTHON) benchmarks/bench_engine_grounding.py
 	$(PYTHON) benchmarks/bench_factor_grounding.py
 	$(PYTHON) benchmarks/bench_factor_tables.py
+	$(PYTHON) benchmarks/bench_featurization.py
 	$(PYTHON) benchmarks/check_regression.py
 
 clean:

@@ -25,6 +25,7 @@ from repro.core.factor_tables import VectorFactorTableBuilder
 from repro.core.featurize import FeaturizationContext, default_featurizers
 from repro.core.partition import VectorPairEnumerator, make_pair_enumerator
 from repro.core.relations import CompiledRelations, init_value_relation
+from repro.core.vector_featurize import VectorFeaturizer
 from repro.core import rules as ddlog
 from repro.dataset.dataset import Cell, Dataset
 from repro.dataset.stats import Statistics
@@ -50,9 +51,10 @@ class CompiledModel:
     query_ids: list[int]
     ddlog_program: list[str] = field(default_factory=list)
     skipped_factors: int = 0
-    #: Pair-enumeration statistics of the DC-factor grounding stage:
-    #: enumerator kind, pairs walked, and the engine enumerator's group /
-    #: streaming counters (empty when DC factors are off).
+    #: Grounding statistics: the featurization path and its ``feature_*``
+    #: counters, plus — when DC factors are on — the pair-enumeration
+    #: stage's enumerator kind, pairs walked, and the engine enumerator's
+    #: group / streaming counters.
     grounding: dict[str, int | str] = field(default_factory=dict)
 
     def size_report(self) -> dict[str, int | str]:
@@ -112,12 +114,12 @@ class ModelCompiler:
         matched = self._ground_matched()
         context = FeaturizationContext(self.dataset, self.stats, config,
                                        matched=matched)
-        featurizers = default_featurizers(context, self.constraints)
 
         space = FeatureSpace()
         builder = FeatureMatrixBuilder(space)
         variables = VariableBlock()
 
+        specs: list[tuple[Cell, list[str]]] = []
         query_ids: list[int] = []
         weak_candidates: list[tuple[int, int]] = []
         for cell in sorted(query_domains):
@@ -127,7 +129,7 @@ class ModelCompiler:
             info = variables.add(cell, domain, init_index, is_evidence=False)
             vid = builder.start_variable(len(domain))
             assert vid == info.vid
-            self._featurize(builder, featurizers, vid, cell, domain)
+            specs.append((cell, domain))
             query_ids.append(vid)
             weak_label = self._weak_label(context, cell, domain, init_index)
             if weak_label >= 0 and len(domain) >= 2:
@@ -144,9 +146,11 @@ class ModelCompiler:
                                  is_evidence=True)
             vid = builder.start_variable(len(domain))
             assert vid == info.vid
-            self._featurize(builder, featurizers, vid, cell, domain)
+            specs.append((cell, domain))
             evidence_ids.append(vid)
             evidence_labels.append(info.observed_index)
+
+        feature_stats = self._featurize_all(context, specs, builder)
 
         if config.use_minimality and ("minimality",) in space:
             space.set_fixed(("minimality",), config.minimality_weight)
@@ -154,9 +158,11 @@ class ModelCompiler:
         graph = FactorGraph(variables, matrix, space)
 
         skipped = 0
-        grounding: dict[str, int | str] = {}
+        grounding: dict[str, int | str] = dict(feature_stats)
         if config.use_dc_factors:
-            skipped, grounding = self._ground_factors(graph, query_domains)
+            skipped, factor_grounding = self._ground_factors(
+                graph, query_domains)
+            grounding.update(factor_grounding)
 
         relations = CompiledRelations(self.dataset,
                                       {**query_domains, **evidence_domains},
@@ -188,6 +194,24 @@ class ModelCompiler:
                              skipped_factors=skipped, grounding=grounding)
 
     # ------------------------------------------------------------------
+    def _featurize_all(self, context: FeaturizationContext,
+                       specs: list[tuple[Cell, list[str]]],
+                       builder: FeatureMatrixBuilder) -> dict[str, int | str]:
+        """Ground the unary features of every variable in ``specs``.
+
+        With an engine, the whole stack grounds set-at-a-time over the
+        column store (:class:`VectorFeaturizer`, byte-identical output);
+        the naive per-cell loop remains the correctness oracle.
+        """
+        if self.engine is not None:
+            featurizer = VectorFeaturizer(self.engine, context,
+                                          self.constraints)
+            return featurizer.featurize(specs, builder)
+        featurizers = default_featurizers(context, self.constraints)
+        for vid, (cell, domain) in enumerate(specs):
+            self._featurize(builder, featurizers, vid, cell, domain)
+        return {"feature_path": "naive"}
+
     def _featurize(self, builder: FeatureMatrixBuilder, featurizers,
                    vid: int, cell: Cell, domain: list[str]) -> None:
         for featurizer in featurizers:

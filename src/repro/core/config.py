@@ -108,9 +108,10 @@ class HoloCleanConfig:
     weak_label_training: bool | None = None
 
     # --- grounding engine ----------------------------------------------------
-    #: Route violation detection, statistics, domain pruning, and DC-factor
-    #: pair enumeration through the vectorized relational engine
-    #: (:mod:`repro.engine`).  The naive Python path is kept as a
+    #: Route violation detection, statistics, domain pruning, featurization
+    #: (the set-at-a-time :class:`~repro.core.vector_featurize.VectorFeaturizer`),
+    #: and DC-factor pair enumeration through the vectorized relational
+    #: engine (:mod:`repro.engine`).  The naive Python path is kept as a
     #: correctness oracle; both produce identical results, the engine is
     #: just what lets grounding scale.
     use_engine: bool = True

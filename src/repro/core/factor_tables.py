@@ -41,7 +41,7 @@ _BLOCK_CELLS = 1 << 22
 _ORDER_OPS = (Operator.LT, Operator.GT, Operator.LTE, Operator.GTE)
 
 
-class _CodeSpace:
+class CodeSpace:
     """One codebook plus every per-attribute artifact coded in it.
 
     A space covers the attributes one predicate compares (one attribute,
@@ -53,6 +53,10 @@ class _CodeSpace:
     with.  CSR builds run first: they extend the codebook with candidate
     values absent from the data, so the value list is complete by the
     time lookup tables are derived from it.
+
+    Shared infrastructure: the vectorized featurizer
+    (:mod:`repro.core.vector_featurize`) compiles denial-constraint
+    *feature* evaluation through the same spaces.
     """
 
     def __init__(self, store, attrs: tuple[str, ...],
@@ -98,7 +102,7 @@ class _Step:
     predicate: Predicate
     left_slot: tuple[int, str]
     right_slot: tuple[int, str] | None
-    space: _CodeSpace
+    space: CodeSpace
     lut: np.ndarray | None
     needs_keys: bool
 
@@ -134,7 +138,7 @@ class VectorFactorTableBuilder:
         self._domains_by_attr: dict[str, dict[Cell, list[str]]] = {}
         for cell, domain in domains.items():
             self._domains_by_attr.setdefault(cell.attribute, {})[cell] = domain
-        self._spaces: dict[tuple[str, ...], _CodeSpace] = {}
+        self._spaces: dict[tuple[str, ...], CodeSpace] = {}
         self._plans: dict[DenialConstraint, _Plan] = {}
         self._axes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         #: Table-construction counters surfaced as ``grounding_table_*``:
@@ -181,11 +185,11 @@ class VectorFactorTableBuilder:
             self._axes[attr] = cached
         return cached
 
-    def _space(self, *attrs: str) -> _CodeSpace:
+    def _space(self, *attrs: str) -> CodeSpace:
         key = tuple(sorted(set(attrs)))
         space = self._spaces.get(key)
         if space is None:
-            space = _CodeSpace(self.engine.store, key, self._domains_by_attr)
+            space = CodeSpace(self.engine.store, key, self._domains_by_attr)
             self._spaces[key] = space
         return space
 
@@ -321,7 +325,7 @@ class VectorFactorTableBuilder:
         axis_rank = {plan.axis_slots[s]: k for k, s in enumerate(axis_ids)}
         grids: dict[tuple[tuple[int, str], int], np.ndarray] = {}
 
-        def grid_for(slot: tuple[int, str], space: _CodeSpace) -> np.ndarray:
+        def grid_for(slot: tuple[int, str], space: CodeSpace) -> np.ndarray:
             key = (slot, id(space))
             grid = grids.get(key)
             if grid is None:

@@ -53,15 +53,18 @@ class FeaturizationContext:
         sources = schema.with_role("source")
         self.source_attribute: str | None = sources[0] if sources else None
         self._entity_groups: dict[tuple, list[int]] | None = None
+        # Schema positions of the entity key, resolved once: entity_group_of
+        # is hot on the weak-label path (one call per query cell).
+        self._entity_idxs: list[int] = [
+            schema.index_of(a) for a in self.config.source_entity_attributes]
 
     # -- entity groups for the source featurizer -------------------------
     def entity_groups(self) -> dict[tuple, list[int]]:
         """Tuples grouped by the configured entity key (built lazily)."""
         if self._entity_groups is None:
             groups: dict[tuple, list[int]] = defaultdict(list)
-            attrs = self.config.source_entity_attributes
-            if attrs:
-                idxs = [self.dataset.schema.index_of(a) for a in attrs]
+            if self._entity_idxs:
+                idxs = self._entity_idxs
                 for tid in self.dataset.tuple_ids:
                     row = self.dataset.row_ref(tid)
                     key = tuple(row[i] for i in idxs)
@@ -71,11 +74,10 @@ class FeaturizationContext:
         return self._entity_groups
 
     def entity_group_of(self, tid: int) -> list[int]:
-        attrs = self.config.source_entity_attributes
-        if not attrs:
+        idxs = self._entity_idxs
+        if not idxs:
             return []
         row = self.dataset.row_ref(tid)
-        idxs = [self.dataset.schema.index_of(a) for a in attrs]
         key = tuple(row[i] for i in idxs)
         if any(v is None for v in key):
             return []

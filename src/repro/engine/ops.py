@@ -19,22 +19,36 @@ import numpy as np
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+def segment_positions(counts: np.ndarray) -> np.ndarray:
+    """``0 .. counts[k]-1`` within each segment, concatenated.
+
+    The companion of :func:`expand_ranges`: where that flattens *where*
+    each segment's elements live, this numbers them *within* their
+    segment — the candidate-index axis of a CSR expansion, or the
+    position-in-bucket counter of a bounded bucket walk.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+
+
 def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """The concatenation of ``[starts[k], starts[k] + counts[k])`` ranges.
 
     The shared kernel of every variable-width gather in the engine:
     expanding CSR rows, hash-join probe buckets, and sparse-matrix row
     slices all reduce to "for each ``k``, the ``counts[k]`` consecutive
-    indices from ``starts[k]``" — flattened here with one
-    repeat/cumsum pass instead of a Python loop.
+    indices from ``starts[k]``" — :func:`segment_positions` offset by
+    each segment's start, with no Python loop.
     """
     starts = np.asarray(starts, dtype=np.int64)
     counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
+    within = segment_positions(counts)
+    if not len(within):
         return _EMPTY
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    within = np.arange(total) - np.repeat(offsets, counts)
     return np.repeat(starts, counts) + within
 
 

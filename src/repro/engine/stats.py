@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
+
 from repro.dataset.stats import Statistics
 
 
@@ -24,20 +26,50 @@ class EngineStatistics(Statistics):
         self._engine = engine
         #: (attr, given_attr) → {given_value: {value: joint count}}
         self._cooc_index: dict[tuple[str, str], dict[str, dict[str, int]]] = {}
+        #: attr → dense per-code counts (the backend group-by, cached).
+        self._code_counts: dict[str, np.ndarray] = {}
+        #: (attr_a, attr_b) → (k, 3) [code_a, code_b, count] rows.
+        self._joint_codes: dict[tuple[str, str], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Code-space counts (shared by the Counter builders below and the
+    # vectorized featurizer, which consumes codes directly)
+    # ------------------------------------------------------------------
+    def code_counts(self, attribute: str) -> np.ndarray:
+        """Occurrences per dictionary code of one attribute (cached)."""
+        cached = self._code_counts.get(attribute)
+        if cached is None:
+            cached = self._engine.backend.value_counts(attribute)
+            self._code_counts[attribute] = cached
+        return cached
+
+    def joint_code_counts(self, attr_a: str, attr_b: str) -> np.ndarray:
+        """``(k, 3)`` co-occurrence rows sorted by ``(code_a, code_b)``.
+
+        Cached per *ordered* pair: both orientations are one backend
+        group-by and the featurizer's joint lookups binary-search the
+        rows, so each orientation needs its own sort order.
+        """
+        key = (attr_a, attr_b)
+        cached = self._joint_codes.get(key)
+        if cached is None:
+            cached = self._engine.backend.pair_value_counts(attr_a, attr_b)
+            self._joint_codes[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Vectorized count builders
     # ------------------------------------------------------------------
     def _build_counts(self, attribute: str) -> Counter:
         store = self._engine.store
-        counts = self._engine.backend.value_counts(attribute)
+        counts = self.code_counts(attribute)
         values = store.values(attribute)
         return Counter({values[code]: int(n)
                         for code, n in enumerate(counts) if n})
 
     def _build_pair_counts(self, key: tuple[str, str]) -> Counter:
         store = self._engine.store
-        rows = self._engine.backend.pair_value_counts(key[0], key[1])
+        rows = self.joint_code_counts(key[0], key[1])
         values_a = store.values(key[0])
         values_b = store.values(key[1])
         return Counter({(values_a[a], values_b[b]): int(n)
@@ -71,6 +103,8 @@ class EngineStatistics(Statistics):
         """Forget every memoised count (also called by ``Engine.refresh``)."""
         super().invalidate()
         self._cooc_index.clear()
+        self._code_counts.clear()
+        self._joint_codes.clear()
 
     def invalidate(self) -> None:
         """Drop caches and re-encode the store after dataset mutation."""

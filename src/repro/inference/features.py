@@ -171,13 +171,22 @@ class FeatureMatrixBuilder:
         v = builder.start_variable(num_candidates)
         builder.add(v, candidate_index, key, value)
         matrix = builder.build()
+
+    The vectorized featurization path lands whole entry batches at once
+    through :meth:`add_entries` instead; both mechanisms may be mixed and
+    the built matrix orders each row's entries chronologically, exactly
+    as repeated :meth:`add` calls would.
     """
 
     def __init__(self, space: FeatureSpace):
         self.space = space
         self._var_sizes: list[int] = []
-        self._rows: list[list[tuple[int, float]]] = []
+        self._rows: list[list[tuple[int, int, float]]] = []
         self._row_base: list[int] = []
+        #: Batched entries: (row ids, insertion seqs, key indices, values).
+        self._batches: list[tuple[np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray]] = []
+        self._seq = 0  # global insertion counter across add / add_entries
 
     def start_variable(self, num_candidates: int) -> int:
         """Register a variable with the given domain size; returns its id."""
@@ -197,7 +206,46 @@ class FeatureMatrixBuilder:
                 f"candidate {candidate} out of range for variable {var} "
                 f"(domain size {self._var_sizes[var]})")
         self._rows[self._row_base[var] + candidate].append(
-            (self.space.index(key), float(value)))
+            (self._seq, self.space.index(key), float(value)))
+        self._seq += 1
+
+    def add_entries(self, var_ids: np.ndarray, cand_idx: np.ndarray,
+                    keys, values: np.ndarray) -> None:
+        """Attach a whole batch of entries at once (the vectorized path).
+
+        ``keys`` is either an integer array of feature-space indices the
+        caller already allocated (in the correct first-seen order) or a
+        sequence of hashable weight keys resolved here in batch order.
+        Entries keep their batch order, so per-row entry order matches
+        what equivalent sequential :meth:`add` calls would produce.
+        """
+        var_ids = np.asarray(var_ids, dtype=np.int64)
+        cand_idx = np.asarray(cand_idx, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        # Validate everything before touching the feature space: a rejected
+        # call must not allocate keys (that would permanently shift the
+        # space's allocation order).
+        if not (len(var_ids) == len(cand_idx) == len(values) == len(keys)):
+            raise ValueError("add_entries arrays must align")
+        if not len(var_ids):
+            return
+        sizes = np.asarray(self._var_sizes, dtype=np.int64)
+        if int(var_ids.min()) < 0 or int(var_ids.max()) >= len(sizes):
+            raise IndexError("variable id out of range")
+        if np.any((cand_idx < 0) | (cand_idx >= sizes[var_ids])):
+            raise IndexError("a candidate index is outside its domain")
+        if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+            key_idx = keys.astype(np.int64, copy=False)
+            if int(key_idx.min()) < 0 or int(key_idx.max()) >= len(self.space):
+                raise IndexError("feature index outside the feature space")
+        else:
+            key_idx = np.fromiter((self.space.index(k) for k in keys),
+                                  dtype=np.int64, count=len(keys))
+        base = np.asarray(self._row_base, dtype=np.int64)
+        row_ids = base[var_ids] + cand_idx
+        seqs = np.arange(self._seq, self._seq + len(row_ids), dtype=np.int64)
+        self._seq += len(row_ids)
+        self._batches.append((row_ids, seqs, key_idx, values))
 
     @property
     def num_vars(self) -> int:
@@ -206,6 +254,8 @@ class FeatureMatrixBuilder:
     def build(self) -> FeatureMatrix:
         var_row_start = np.zeros(len(self._var_sizes) + 1, dtype=np.int64)
         np.cumsum(self._var_sizes, out=var_row_start[1:])
+        if self._batches:
+            return self._build_merged(var_row_start)
         row_ptr = np.zeros(len(self._rows) + 1, dtype=np.int64)
         np.cumsum([len(r) for r in self._rows], out=row_ptr[1:])
         total = int(row_ptr[-1])
@@ -213,9 +263,44 @@ class FeatureMatrixBuilder:
         values = np.empty(total, dtype=np.float64)
         pos = 0
         for row in self._rows:
-            for idx, val in row:
+            for _seq, idx, val in row:
                 indices[pos] = idx
                 values[pos] = val
                 pos += 1
         return FeatureMatrix(var_row_start, indices, values, row_ptr,
                              num_features=len(self.space))
+
+    def _build_merged(self, var_row_start: np.ndarray) -> FeatureMatrix:
+        """Merge per-entry and batched additions into one CSR matrix.
+
+        Entries are grouped by row and ordered chronologically within a
+        row (via the global insertion counter), which is exactly the
+        layout sequential :meth:`add` calls produce.
+        """
+        rows_l, seqs_l, keys_l, vals_l = [], [], [], []
+        loop_entries = [(r, seq, idx, val)
+                        for r, row in enumerate(self._rows)
+                        for seq, idx, val in row]
+        if loop_entries:
+            arr = np.asarray([(r, s, k) for r, s, k, _ in loop_entries],
+                             dtype=np.int64)
+            rows_l.append(arr[:, 0])
+            seqs_l.append(arr[:, 1])
+            keys_l.append(arr[:, 2])
+            vals_l.append(np.asarray([v for *_ignored, v in loop_entries],
+                                     dtype=np.float64))
+        for row_ids, seqs, key_idx, values in self._batches:
+            rows_l.append(row_ids)
+            seqs_l.append(seqs)
+            keys_l.append(key_idx)
+            vals_l.append(values)
+        rows = np.concatenate(rows_l)
+        seqs = np.concatenate(seqs_l)
+        keys = np.concatenate(keys_l)
+        vals = np.concatenate(vals_l)
+        order = np.lexsort((seqs, rows))
+        row_ptr = np.zeros(len(self._rows) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=len(self._rows)),
+                  out=row_ptr[1:])
+        return FeatureMatrix(var_row_start, keys[order], vals[order],
+                             row_ptr, num_features=len(self.space))

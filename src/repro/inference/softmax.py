@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.ops import expand_ranges
 from repro.inference.features import FeatureMatrix
 from repro.inference.numerics import segment_softmax
 
@@ -122,10 +123,7 @@ class SoftmaxTrainer:
         sizes = np.diff(m.var_row_start)[train_vars]
         comp_starts = np.zeros(len(train_vars) + 1, dtype=np.int64)
         np.cumsum(sizes, out=comp_starts[1:])
-        train_rows = np.concatenate([
-            np.arange(m.var_row_start[v], m.var_row_start[v + 1], dtype=np.int64)
-            for v in train_vars
-        ]) if len(train_vars) else np.empty(0, dtype=np.int64)
+        train_rows = expand_ranges(m.var_row_start[train_vars], sizes)
         label_positions = comp_starts[:-1] + labels
         if np.any(labels < 0) or np.any(labels >= sizes):
             raise ValueError("a label is outside its variable's domain")
@@ -210,8 +208,6 @@ class SoftmaxTrainer:
         for a handful of query variables no longer pays for a θ·x pass
         over the whole matrix.
         """
-        from repro.engine.ops import expand_ranges
-
         out: dict[int, np.ndarray] = {}
         if not len(var_ids):
             return out

@@ -1,0 +1,195 @@
+"""Vectorized featurization must be byte-identical to the naive stack.
+
+The contract of :class:`repro.core.vector_featurize.VectorFeaturizer`:
+the engine-grounded :class:`FeatureMatrix` and :class:`FeatureSpace`
+reproduce the naive per-(cell, candidate) featurizer loop *exactly* —
+same key allocation order, same row order, same per-row entry order and
+values — on the paper's generators (leave-one-out and weak-label paths
+included) and on adversarial random datasets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.predicates import Const, Operator, Predicate, TupleRef
+from repro.core.compiler import ModelCompiler
+from repro.core.config import HoloCleanConfig
+from repro.data.generators.flights import generate_flights
+from repro.data.generators.hospital import generate_hospital
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Schema
+from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return generate_hospital(num_rows=260)
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return generate_flights(num_flights=12)
+
+
+def compile_pair(dataset, constraints, config, backend="numpy"):
+    """Compile once naive, once engine-backed, off one shared detection."""
+    engine = Engine(dataset, backend=backend)
+    detection = ViolationDetector(constraints, engine=engine).detect(dataset)
+    naive_config = config.with_(use_engine=False)
+    naive = ModelCompiler(dataset, constraints, naive_config, detection).compile()
+    compiler = ModelCompiler(dataset, constraints, config, detection, engine=engine)
+    return naive, compiler.compile()
+
+
+def assert_identical(naive, fast):
+    """Matrix + space byte-equality, the featurization contract."""
+    assert fast.graph.space._keys == naive.graph.space._keys
+    assert fast.graph.space.fixed_weights == naive.graph.space.fixed_weights
+    mn, mf = naive.graph.matrix, fast.graph.matrix
+    for name in ("var_row_start", "row_ptr", "indices", "values"):
+        assert np.array_equal(getattr(mf, name), getattr(mn, name)), name
+    assert fast.query_ids == naive.query_ids
+    assert fast.evidence_ids == naive.evidence_ids
+    assert fast.evidence_labels == naive.evidence_labels
+    assert fast.grounding["feature_path"] == "vector"
+    assert fast.grounding["feature_entries"] == mn.num_entries
+
+
+# ---------------------------------------------------------------------------
+# The paper's generators
+# ---------------------------------------------------------------------------
+def test_hospital_identical(hospital):
+    config = HoloCleanConfig(tau=hospital.recommended_tau)
+    naive, fast = compile_pair(hospital.dirty, hospital.constraints, config)
+    assert naive.graph.matrix.num_entries > 0
+    assert_identical(naive, fast)
+
+
+def test_hospital_identical_sqlite(hospital):
+    config = HoloCleanConfig(tau=hospital.recommended_tau)
+    naive, fast = compile_pair(
+        hospital.dirty,
+        hospital.constraints,
+        config,
+        backend="sqlite",
+    )
+    assert_identical(naive, fast)
+
+
+def test_flights_identical_weak_label_path(flights):
+    # Flights: source featurizer + entity groups + the weak-label path
+    # (every cell violates something, so evidence is scarce).
+    config = HoloCleanConfig(
+        tau=flights.recommended_tau,
+        source_entity_attributes=flights.source_entity_attributes,
+    )
+    naive, fast = compile_pair(flights.dirty, flights.constraints, config)
+    assert any(key[0] == "src" for key in naive.graph.space._keys)
+    assert_identical(naive, fast)
+
+
+def test_value_tying_identical(flights):
+    config = HoloCleanConfig(
+        tau=flights.recommended_tau,
+        cooccur_tying="value",
+        source_entity_attributes=flights.source_entity_attributes,
+    )
+    naive, fast = compile_pair(flights.dirty, flights.constraints, config)
+    assert_identical(naive, fast)
+
+
+def test_similarity_and_single_tuple_dcs_fall_back(hospital):
+    # A binary-similarity DC cannot evaluate in code space (naive
+    # fallback), a constant single-tuple DC can; both must stay
+    # byte-identical and keep the featurizer's per-row entry order.
+    constraints = hospital.constraints + [
+        DenialConstraint(
+            [
+                Predicate(TupleRef(1, "City"), Operator.EQ, TupleRef(2, "City")),
+                Predicate(TupleRef(1, "State"), Operator.SIM, TupleRef(2, "State")),
+            ],
+            name="sim_fallback",
+        ),
+        DenialConstraint(
+            [
+                Predicate(TupleRef(1, "State"), Operator.NEQ, Const("AL")),
+            ],
+            name="single_const",
+        ),
+    ]
+    config = HoloCleanConfig(tau=hospital.recommended_tau)
+    naive, fast = compile_pair(hospital.dirty, constraints, config)
+    assert fast.grounding["feature_dc_fallbacks"] == 1
+    assert_identical(naive, fast)
+
+
+def test_partner_cap_identical(hospital):
+    # A tiny partner cap exercises the first-K-non-self truncation rule.
+    config = HoloCleanConfig(tau=hospital.recommended_tau, max_dc_feature_partners=3)
+    naive, fast = compile_pair(hospital.dirty, hospital.constraints, config)
+    assert_identical(naive, fast)
+
+
+def test_signal_toggles_identical(hospital):
+    config = HoloCleanConfig(
+        tau=hospital.recommended_tau,
+        use_frequency=False,
+        use_dc_feats=False,
+        evidence_negatives=0,
+    )
+    naive, fast = compile_pair(hospital.dirty, hospital.constraints, config)
+    assert_identical(naive, fast)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial random datasets (property test)
+# ---------------------------------------------------------------------------
+VALUE = st.sampled_from(["a", "b", "c", "1", "2", None])
+ROWS = st.lists(st.tuples(VALUE, VALUE, VALUE), min_size=1, max_size=14)
+
+RANDOM_DCS = [
+    DenialConstraint(
+        [
+            Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "A")),
+            Predicate(TupleRef(1, "B"), Operator.NEQ, TupleRef(2, "B")),
+        ],
+        name="fd_a_b",
+    ),
+    # Cross-attribute join: exercises shared code spaces.
+    DenialConstraint(
+        [
+            Predicate(TupleRef(1, "A"), Operator.EQ, TupleRef(2, "B")),
+            Predicate(TupleRef(1, "C"), Operator.NEQ, TupleRef(2, "C")),
+        ],
+        name="asym_ab",
+    ),
+    # Ordering residual under mixed numeric/lexicographic coercion.
+    DenialConstraint(
+        [
+            Predicate(TupleRef(1, "B"), Operator.EQ, TupleRef(2, "B")),
+            Predicate(TupleRef(1, "C"), Operator.GT, TupleRef(2, "C")),
+        ],
+        name="order_c",
+    ),
+    # Constant predicate plus a no-equijoin constraint (full cross join).
+    DenialConstraint(
+        [
+            Predicate(TupleRef(1, "A"), Operator.NEQ, TupleRef(2, "A")),
+            Predicate(TupleRef(1, "B"), Operator.EQ, Const("a")),
+        ],
+        name="no_equijoin",
+    ),
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=ROWS, tau=st.sampled_from([0.0, 0.5]))
+def test_random_datasets_identical(rows, tau):
+    dataset = Dataset(Schema(["A", "B", "C"]), [list(r) for r in rows])
+    config = HoloCleanConfig(tau=tau, max_dc_feature_partners=2)
+    naive, fast = compile_pair(dataset, RANDOM_DCS, config)
+    assert_identical(naive, fast)

@@ -58,6 +58,76 @@ class TestFeatureMatrixBuilder:
         with pytest.raises(IndexError):
             builder.add(v, 2, "f", 1.0)
 
+    def test_add_entries_matches_sequential_adds(self):
+        def sequential():
+            builder = FeatureMatrixBuilder(FeatureSpace())
+            builder.start_variable(2)
+            builder.start_variable(3)
+            builder.add(0, 0, "a", 1.0)
+            builder.add(0, 1, "b", 2.0)
+            builder.add(1, 2, "a", 3.0)
+            builder.add(0, 1, "c", 4.0)  # second entry of the same row
+            return builder
+
+        batched = FeatureMatrixBuilder(FeatureSpace())
+        batched.start_variable(2)
+        batched.start_variable(3)
+        var_ids = np.array([0, 0, 1, 0])
+        cand_idx = np.array([0, 1, 2, 1])
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        batched.add_entries(var_ids, cand_idx, ["a", "b", "a", "c"], values)
+        reference = sequential()
+        want = reference.build()
+        got = batched.build()
+        assert reference.space._keys == batched.space._keys
+        assert np.array_equal(got.row_ptr, want.row_ptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.values, want.values)
+
+    def test_add_entries_accepts_resolved_indices(self):
+        space = FeatureSpace()
+        ka, kb = space.index("a"), space.index("b")
+        builder = FeatureMatrixBuilder(space)
+        builder.start_variable(2)
+        keys = np.array([kb, ka])
+        builder.add_entries(np.array([0, 0]), np.array([0, 1]), keys, [1.0, 2.0])
+        matrix = builder.build()
+        assert matrix.indices.tolist() == [kb, ka]
+        assert matrix.values.tolist() == [1.0, 2.0]
+
+    def test_add_entries_interleaves_with_add_chronologically(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        builder.start_variable(1)
+        builder.add(0, 0, "a", 1.0)
+        builder.add_entries(np.array([0]), np.array([0]), ["b"], [2.0])
+        builder.add(0, 0, "c", 3.0)
+        matrix = builder.build()
+        # One row, entries in insertion order across both mechanisms.
+        wanted = [space.index("a"), space.index("b"), space.index("c")]
+        assert matrix.indices.tolist() == wanted
+        assert matrix.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_add_entries_validates(self):
+        space = FeatureSpace()
+        builder = FeatureMatrixBuilder(space)
+        builder.start_variable(2)
+        with pytest.raises(IndexError):
+            builder.add_entries(np.array([0]), np.array([2]), ["a"], [1.0])
+        with pytest.raises(IndexError):  # unallocated feature index
+            builder.add_entries(np.array([0]), np.array([0]), np.array([5]), [1.0])
+        with pytest.raises(ValueError, match="align"):
+            builder.add_entries(np.array([0, 0]), np.array([0]), ["a"], [1.0])
+
+    def test_add_entries_empty_is_noop(self):
+        builder = FeatureMatrixBuilder(FeatureSpace())
+        builder.start_variable(2)
+        empty = np.array([], dtype=np.int64)
+        builder.add_entries(empty, empty, [], np.array([], dtype=np.float64))
+        matrix = builder.build()
+        assert matrix.num_entries == 0
+        assert matrix.num_rows == 2
+
     def test_build_layout(self):
         space = FeatureSpace()
         builder = FeatureMatrixBuilder(space)

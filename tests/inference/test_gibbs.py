@@ -1,5 +1,7 @@
 """Tests for the Gibbs sampler."""
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -87,3 +89,82 @@ class TestGibbsSampler:
         graph, weights = coupled_graph()
         result = GibbsSampler(graph, weights).run(burn_in=2, sweeps=5)
         assert set(result.marginals) == {1}
+
+
+# ---------------------------------------------------------------------------
+# Exactness: sampled marginals vs brute-force joint enumeration
+# ---------------------------------------------------------------------------
+def exact_marginals(graph, weights):
+    """Query marginals by enumerating the full joint distribution.
+
+    ``p(x) ∝ exp(Σ_v unary_v[x_v] + Σ_f w_f · table_f[x])`` with evidence
+    variables pinned to their observed values — the distribution whose
+    conditionals :meth:`GibbsSampler.conditional` implements.
+    """
+    unary = graph.unary_scores(weights)
+    query = graph.variables.query_ids()
+    state = np.zeros(len(graph.variables), dtype=np.int64)
+    for var in graph.variables:
+        if var.is_evidence:
+            state[var.vid] = var.observed_index
+    marginals = {v: np.zeros(graph.variables[v].domain_size) for v in query}
+    domains = [range(graph.variables[v].domain_size) for v in query]
+    for assignment in itertools.product(*domains):
+        for v, value in zip(query, assignment):
+            state[v] = value
+        log_p = sum(float(unary[v][state[v]]) for v in query)
+        for f in graph.factors:
+            log_p += f.weight * float(f.table[tuple(state[u] for u in f.var_ids)])
+        weight = np.exp(log_p)
+        for v, value in zip(query, assignment):
+            marginals[v][value] += weight
+    total = sum(marginals[query[0]]) if query else 1.0
+    return {v: m / total for v, m in marginals.items()}
+
+
+def three_variable_graph():
+    """One evidence + two query variables, chained by soft factors.
+
+    Small enough to enumerate (2 × 3 × 2 states) yet genuinely coupled:
+    an agree-factor ties the evidence to query 1 and a mixed-sign factor
+    ties query 1 to query 2, so no variable's marginal is a bare softmax.
+    """
+    space = FeatureSpace()
+    builder = FeatureMatrixBuilder(space)
+    block = VariableBlock()
+    block.add(Cell(0, "A"), ["x", "y"], 1, is_evidence=True)
+    builder.start_variable(2)
+    block.add(Cell(1, "A"), ["x", "y", "z"], 0, is_evidence=False)
+    v1 = builder.start_variable(3)
+    builder.add(v1, 0, ("bias",), 0.7)
+    builder.add(v1, 2, ("bias",), 0.3)
+    block.add(Cell(2, "A"), ["x", "y"], 0, is_evidence=False)
+    v2 = builder.start_variable(2)
+    builder.add(v2, 1, ("bias",), 0.5)
+    graph = FactorGraph(block, builder.build(), space)
+    table01 = np.array([[1, -1, 1], [-1, 1, -1]], dtype=np.int8)
+    graph.add_factor(ConstraintFactor((0, 1), table01, 1.2, "tie01"))
+    table12 = np.array([[1, -1], [-1, 1], [1, 1]], dtype=np.int8)
+    graph.add_factor(ConstraintFactor((1, 2), table12, 0.8, "tie12"))
+    return graph, np.ones(len(space))
+
+
+class TestGibbsExactness:
+    def test_marginals_match_joint_enumeration(self):
+        graph, weights = three_variable_graph()
+        expected = exact_marginals(graph, weights)
+        sampler = GibbsSampler(graph, weights, seed=11)
+        result = sampler.run(burn_in=100, sweeps=6000)
+        assert set(result.marginals) == set(expected)
+        for vid, marginal in expected.items():
+            assert marginal.sum() == pytest.approx(1.0)
+            np.testing.assert_allclose(result.marginals[vid], marginal, atol=0.03)
+
+    def test_enumeration_reduces_to_softmax_when_independent(self):
+        # Sanity check of the oracle itself: with no factors the exact
+        # marginals are the per-variable softmaxes.
+        graph, weights = independent_graph(bias=1.5)
+        expected = exact_marginals(graph, weights)
+        softmax = np.exp(1.5) / (np.exp(1.5) + 1.0)
+        for vid in (0, 1):
+            assert expected[vid][0] == pytest.approx(softmax)
