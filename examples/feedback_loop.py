@@ -9,6 +9,12 @@ benchmark, pulls the least-confident proposals, plays the role of the
 reviewer using the generator's ground truth, and reruns with the verified
 labels folded in.
 
+Sessions are built on the staged repair API: ``run()`` executes the
+default Detect → Compile → Learn → Infer → Apply plan and retains the
+:class:`repro.RepairContext` (grounding engine, detection, compiled
+model); ``rerun()`` re-enters the plan at the learn stage, folding the
+verified cells in as labeled evidence and clamps — no recompilation.
+
 Run with::
 
     python examples/feedback_loop.py [num_rows]
@@ -31,6 +37,12 @@ first = session.run()
 before = evaluate_repairs(generated.dirty, first.repaired, generated.clean,
                           error_cells=generated.error_cells)
 print(f"Initial pass:  {before}")
+print("Phase timings: "
+      + ", ".join(f"{k}={v:.2f}s" for k, v in first.timings.items()))
+grounding = {k: v for k, v in first.size_report.items()
+             if str(k).startswith("grounding_")}
+print(f"Engine grounding counters: {len(grounding)} "
+      f"(sessions share the vectorized fast path)")
 
 queue = session.low_confidence(below=0.9)
 print(f"\n{len(queue)} proposals below 0.9 confidence; reviewing up to 15…")
@@ -41,10 +53,12 @@ for inference in queue[:15]:
     print(f"  {inference.cell}: proposed {inference.chosen_value!r} "
           f"(p={inference.confidence:.2f}) → reviewer {verdict} {truth!r}")
 
-second = session.rerun()
+second = session.rerun()  # learn → infer → apply only; model reused
 after = evaluate_repairs(generated.dirty, second.repaired, generated.clean,
                          error_cells=generated.error_cells)
 print(f"\nAfter feedback: {after}")
+print(f"Rerun repair phase: {second.timings['repair']:.2f}s "
+      f"(detection + compilation reused from the first pass)")
 print(f"F1 change: {after.f1 - before.f1:+.4f} with "
       f"{session.feedback_count} verified cells")
 assert after.f1 >= before.f1 - 1e-9

@@ -13,7 +13,8 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Dataset, HoloClean, HoloCleanConfig, Schema, parse_fd
+from repro import (Dataset, HoloClean, HoloCleanConfig, RepairContext,
+                   RepairPlan, Schema, parse_fd)
 
 # ---------------------------------------------------------------------------
 # 1. The dirty relation (Figure 1A plus duplicate context rows — real
@@ -48,10 +49,30 @@ for dc in constraints:
     print("  ", dc)
 
 # ---------------------------------------------------------------------------
-# 3. Repair.
+# 3. Repair.  `HoloClean.repair()` is a facade over the staged plan
+#    Detect → Compile → Learn → Infer → Apply (Figure 2's three modules);
+#    running the plan on an explicit RepairContext keeps every
+#    intermediate artifact around for inspection and partial re-runs.
 # ---------------------------------------------------------------------------
 config = HoloCleanConfig(tau=0.3, epochs=40, seed=1)
-result = HoloClean(config).repair(dataset, constraints)
+ctx = RepairContext(dataset=dataset, constraints=constraints, config=config)
+ctx = RepairPlan.default().run(ctx)
+result = ctx.result
+
+print(f"\nStaged execution: {RepairPlan.default()}")
+print("Per-stage wall-clock:",
+      ", ".join(f"{name}={t * 1000:.1f}ms" for name, t in ctx.timings.items()))
+print(f"Detection found {len(ctx.detection.noisy_cells)} noisy cells; "
+      f"the compiled model has {len(ctx.model.query_ids)} query variables.")
+
+# The context is re-enterable: keep the detection and compiled model,
+# and re-run only learn → infer → apply (the Section 2.2 loop).
+rerun = RepairPlan.default().starting_at("learn").run(ctx).result
+assert rerun.repaired == result.repaired
+
+# The one-shot facade produces the identical result.
+facade = HoloClean(config).repair(dataset, constraints)
+assert facade.repaired == result.repaired
 
 print(f"\n{result.summary()}")
 print("\nProposed repairs (with marginal probabilities):")

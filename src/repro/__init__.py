@@ -43,8 +43,15 @@ from repro.detect import (
 from repro.engine import ColumnStore, Engine
 from repro.external import ExternalDictionary
 from repro.core import (
+    ApplyStage,
+    CompileStage,
+    DetectStage,
     HoloClean,
     HoloCleanConfig,
+    InferStage,
+    LearnStage,
+    RepairContext,
+    RepairPlan,
     RepairResult,
     RepairSession,
     CellInference,
@@ -86,6 +93,13 @@ __all__ = [
     "ExternalDictionary",
     "HoloClean",
     "HoloCleanConfig",
+    "RepairContext",
+    "RepairPlan",
+    "DetectStage",
+    "CompileStage",
+    "LearnStage",
+    "InferStage",
+    "ApplyStage",
     "RepairResult",
     "RepairSession",
     "CellInference",

@@ -14,6 +14,10 @@ value, new value, confidence) to ``--report`` or stdout.
 
 ``python -m repro bench [...]`` runs the repository's benchmark suite
 instead (see :mod:`repro.bench`).
+
+Repairs execute through the staged plan of :mod:`repro.core.stages`
+(Detect → Compile → Learn → Infer → Apply), the same path as the
+library facade and the evaluation harness.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.constraints.fd import parse_fd
 from repro.constraints.parser import parse_dcs
 from repro.core.config import VARIANTS, HoloCleanConfig
 from repro.core.pipeline import HoloClean
+from repro.core.stages import RepairPlan
 from repro.dataset.csv_io import read_csv, write_csv
 
 
@@ -111,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         use_engine=args.engine != "off",
         engine_backend=args.engine if args.engine != "off" else "numpy")
 
-    result = HoloClean(config).repair(dataset, constraints)
+    ctx = HoloClean(config).context(dataset, constraints)
+    result = RepairPlan.default().run(ctx).result
 
     # Apply the confidence floor, if any.
     repaired = dataset.copy(name=f"{dataset.name}-repaired")

@@ -2,7 +2,11 @@
 
 Compilation (Section 4), scaling optimizations (Section 5 — Algorithm 2
 domain pruning, Algorithm 3 tuple partitioning, and the denial-constraint
-relaxation), and the end-to-end repair pipeline (Figure 2).
+relaxation), and the end-to-end repair pipeline (Figure 2), exposed as
+the staged Detect → Compile → Learn → Infer → Apply API of
+:mod:`repro.core.stages` (``RepairContext`` + ``RepairPlan``), with
+:class:`~repro.core.pipeline.HoloClean` as the one-shot facade and
+:class:`~repro.core.session.RepairSession` as the feedback loop.
 """
 
 from repro.core.config import HoloCleanConfig, VARIANTS
@@ -26,6 +30,19 @@ from repro.core.featurize import (
     default_featurizers,
 )
 from repro.core.compiler import CompiledModel, ModelCompiler
+from repro.core.stages import (
+    STAGE_ORDER,
+    ApplyStage,
+    CompileStage,
+    DetectStage,
+    FeedbackEvidence,
+    InferStage,
+    LearnStage,
+    RepairContext,
+    RepairPlan,
+    Stage,
+    resolve_feedback,
+)
 from repro.core.pipeline import HoloClean
 from repro.core.repair import CellInference, RepairResult
 from repro.core.session import RepairSession
@@ -51,6 +68,17 @@ __all__ = [
     "default_featurizers",
     "CompiledModel",
     "ModelCompiler",
+    "STAGE_ORDER",
+    "Stage",
+    "DetectStage",
+    "CompileStage",
+    "LearnStage",
+    "InferStage",
+    "ApplyStage",
+    "FeedbackEvidence",
+    "RepairContext",
+    "RepairPlan",
+    "resolve_feedback",
     "HoloClean",
     "CellInference",
     "RepairResult",

@@ -111,7 +111,9 @@ class HoloCleanConfig:
     #: Route violation detection, statistics, domain pruning, featurization
     #: (the set-at-a-time :class:`~repro.core.vector_featurize.VectorFeaturizer`),
     #: and DC-factor pair enumeration through the vectorized relational
-    #: engine (:mod:`repro.engine`).  The naive Python path is kept as a
+    #: engine (:mod:`repro.engine`).  The staged API builds one
+    #: :class:`~repro.engine.Engine` per :class:`~repro.core.stages.RepairContext`
+    #: and every stage shares it.  The naive Python path is kept as a
     #: correctness oracle; both produce identical results, the engine is
     #: just what lets grounding scale.
     use_engine: bool = True

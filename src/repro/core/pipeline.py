@@ -1,4 +1,4 @@
-"""The HoloClean facade: detect → compile → learn → infer → repair.
+"""The HoloClean facade over the staged repair API.
 
 Reproduces the three-module workflow of Figure 2:
 
@@ -16,28 +16,26 @@ Reproduces the three-module workflow of Figure 2:
    or Gibbs sampling (factor variants); each noisy cell is assigned its
    MAP value.
 
-Timings for the three phases are recorded exactly as the paper reports
-them (violation detection / compilation / learning+inference).
+:meth:`HoloClean.repair` is a thin veneer over
+:meth:`repro.core.stages.RepairPlan.default` run on a fresh
+:class:`~repro.core.stages.RepairContext`; callers that want partial
+re-runs (reuse a detection, reuse a compiled model, inject feedback)
+drive the stages directly — see :mod:`repro.core.stages` and
+:class:`~repro.core.session.RepairSession`.  Timings for the three
+phases are recorded exactly as the paper reports them (violation
+detection / compilation / learning+inference).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.matching import MatchingDependency
-from repro.core.compiler import CompiledModel, ModelCompiler
 from repro.core.config import HoloCleanConfig
-from repro.core.repair import CellInference, RepairResult
+from repro.core.repair import RepairResult
+from repro.core.stages import RepairContext, RepairPlan
 from repro.dataset.dataset import Dataset
 from repro.detect.base import DetectionResult, ErrorDetector
-from repro.detect.violations import ViolationDetector
-from repro.engine import Engine
 from repro.external.dictionary import ExternalDictionary
-from repro.inference.gibbs import GibbsSampler
-from repro.inference.softmax import SoftmaxTrainer
 
 
 class HoloClean:
@@ -55,12 +53,16 @@ class HoloClean:
         self.config = config or HoloCleanConfig()
 
     # ------------------------------------------------------------------
-    def repair(self, dataset: Dataset, constraints: list[DenialConstraint],
-               dictionaries: list[ExternalDictionary] = (),
-               matching_dependencies: list[MatchingDependency] = (),
-               extra_detectors: list[ErrorDetector] = (),
-               detection: DetectionResult | None = None) -> RepairResult:
-        """Run the full pipeline and return the repair result.
+    def repair(
+        self,
+        dataset: Dataset,
+        constraints: list[DenialConstraint],
+        dictionaries: list[ExternalDictionary] = (),
+        matching_dependencies: list[MatchingDependency] = (),
+        extra_detectors: list[ErrorDetector] = (),
+        detection: DetectionResult | None = None,
+    ) -> RepairResult:
+        """Run the default plan end to end and return the repair result.
 
         Parameters
         ----------
@@ -74,110 +76,40 @@ class HoloClean:
             Additional error detectors whose findings are unioned with the
             violation detector's.
         detection:
-            A precomputed detection result (skips the detect phase); used
+            A precomputed detection result (skips the detect stage); used
             when callers share detection across configurations.
         """
-        timings: dict[str, float] = {}
-        engine = self._build_engine(dataset)
+        ctx = self.context(
+            dataset,
+            constraints,
+            dictionaries=dictionaries,
+            matching_dependencies=matching_dependencies,
+            extra_detectors=extra_detectors,
+            detection=detection,
+        )
+        return RepairPlan.default().run(ctx).result
 
-        started = time.perf_counter()
-        if detection is None:
-            detection = self._detect(dataset, constraints, extra_detectors,
-                                     engine)
-        timings["detect"] = time.perf_counter() - started
+    def context(
+        self,
+        dataset: Dataset,
+        constraints: list[DenialConstraint],
+        dictionaries: list[ExternalDictionary] = (),
+        matching_dependencies: list[MatchingDependency] = (),
+        extra_detectors: list[ErrorDetector] = (),
+        detection: DetectionResult | None = None,
+    ) -> RepairContext:
+        """A fresh :class:`RepairContext` for staged execution.
 
-        started = time.perf_counter()
-        compiler = ModelCompiler(dataset, constraints, self.config, detection,
-                                 dictionaries=list(dictionaries),
-                                 matching_dependencies=list(matching_dependencies),
-                                 engine=engine)
-        model = compiler.compile()
-        timings["compile"] = time.perf_counter() - started
-
-        started = time.perf_counter()
-        weights, losses = self._learn(model)
-        marginals = self._infer(model, weights)
-        result = self._apply_repairs(dataset, model, marginals)
-        timings["repair"] = time.perf_counter() - started
-
-        result.timings = timings
-        result.size_report = model.size_report()
-        result.training_losses = losses
-        result.config = self.config
-        return result
-
-    # ------------------------------------------------------------------
-    def _build_engine(self, dataset: Dataset) -> Engine | None:
-        """The shared grounding engine: one columnar encoding of the dirty
-        dataset feeding detection, pruning, featurization, and DC-factor
-        pair enumeration."""
-        if not self.config.use_engine:
-            return None
-        return Engine(dataset, backend=self.config.engine_backend)
-
-    def _detect(self, dataset: Dataset, constraints: list[DenialConstraint],
-                extra_detectors: list[ErrorDetector],
-                engine: Engine | None = None) -> DetectionResult:
-        detection = ViolationDetector(constraints, engine=engine).detect(dataset)
-        for detector in extra_detectors:
-            detection.merge(detector.detect(dataset))
-        return detection
-
-    def _learn(self, model: CompiledModel):
-        """ERM over the evidence cells, with the minimality prior held out.
-
-        The minimality prior is an inference-time prior over repair
-        decisions ("a positive constant", Section 4.2), not a learnable
-        part of the likelihood: since every training label *is* the
-        initial value, letting the prior participate in the training-time
-        scores makes it absorb the labels and starves the genuine
-        signals (co-occurrence, source reliability) of gradient.  We
-        therefore pin it to 0 during the fit and restore the configured
-        constant for inference.
+        Use this instead of :meth:`repair` to keep the intermediate
+        artifacts (detection, compiled model, weights, marginals) for
+        partial re-runs.
         """
-        config = self.config
-        space = model.graph.space
-        fixed = space.fixed_weights
-        minimality_idx = space.get(("minimality",))
-        if minimality_idx is not None:
-            fixed[minimality_idx] = 0.0
-        trainer = SoftmaxTrainer(
-            model.graph.matrix, epochs=config.epochs,
-            learning_rate=config.learning_rate, l2=config.l2,
-            max_training_vars=config.max_training_cells, seed=config.seed,
-            fixed_weights=fixed)
-        outcome = trainer.train(model.evidence_ids, model.evidence_labels)
-        if minimality_idx is not None:
-            outcome.weights[minimality_idx] = config.minimality_weight
-        return outcome.weights, outcome.losses
-
-    def _infer(self, model: CompiledModel,
-               weights: np.ndarray) -> dict[int, np.ndarray]:
-        if model.graph.factors:
-            sampler = GibbsSampler(model.graph, weights, seed=self.config.seed)
-            outcome = sampler.run(burn_in=self.config.gibbs_burn_in,
-                                  sweeps=self.config.gibbs_sweeps)
-            return outcome.marginals
-        trainer = SoftmaxTrainer(model.graph.matrix)
-        return trainer.marginals(weights, model.query_ids)
-
-    def _apply_repairs(self, dataset: Dataset, model: CompiledModel,
-                       marginals: dict[int, np.ndarray]) -> RepairResult:
-        repaired = dataset.copy(name=f"{dataset.name}-repaired")
-        inferences: dict = {}
-        for vid in model.query_ids:
-            info = model.graph.variables[vid]
-            marginal = marginals[vid]
-            best = int(np.argmax(marginal))
-            chosen = info.domain[best]
-            inference = CellInference(
-                cell=info.cell,
-                init_value=dataset.cell_value(info.cell),
-                chosen_value=chosen,
-                confidence=float(marginal[best]),
-                domain=list(info.domain),
-                marginal=np.asarray(marginal, dtype=np.float64))
-            inferences[info.cell] = inference
-            if inference.is_repair:
-                repaired.set_value(info.cell.tid, info.cell.attribute, chosen)
-        return RepairResult(repaired=repaired, inferences=inferences)
+        return RepairContext(
+            dataset=dataset,
+            constraints=list(constraints),
+            config=self.config,
+            dictionaries=list(dictionaries),
+            matching_dependencies=list(matching_dependencies),
+            extra_detectors=list(extra_detectors),
+            detection=detection,
+        )

@@ -43,7 +43,13 @@ class CellInference:
 
 @dataclass
 class RepairResult:
-    """Everything produced by one HoloClean run."""
+    """Everything produced by one HoloClean run.
+
+    ``timings`` reports the paper's three phases (``detect`` /
+    ``compile`` / ``repair``); the staged API records finer per-stage
+    wall-clock on :attr:`repro.core.stages.RepairContext.timings` and
+    folds learn/infer/apply into ``repair`` here.
+    """
 
     repaired: Dataset
     inferences: dict[Cell, CellInference]

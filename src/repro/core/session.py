@@ -6,53 +6,58 @@ with low marginal probabilities and use those as labeled examples to
 retrain the parameters of HoloClean's model using standard incremental
 learning and inference techniques [37]."
 
-:class:`RepairSession` implements that loop:
+:class:`RepairSession` implements that loop on top of the staged API
+(:mod:`repro.core.stages`):
 
-1. :meth:`run` — the ordinary pipeline, keeping the compiled model;
+1. :meth:`run` — the default plan on a fresh context, keeping every
+   artifact (engine, detection, compiled model) around;
 2. :meth:`low_confidence` — the repair proposals a reviewer should check;
 3. :meth:`feedback` — record user-verified values for individual cells;
-4. :meth:`rerun` — retrain with the verified cells as labeled evidence
-   (and clamp them), then re-infer everything else.
+4. :meth:`rerun` — re-run only learn → infer → apply on the retained
+   context: verified cells become labeled evidence in
+   :class:`~repro.core.stages.LearnStage` and clamps in
+   :class:`~repro.core.stages.ApplyStage`, so feedback retrains the
+   weights without recompiling the model.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.matching import MatchingDependency
-from repro.core.compiler import CompiledModel, ModelCompiler
+from repro.core.compiler import CompiledModel
 from repro.core.config import HoloCleanConfig
 from repro.core.repair import CellInference, RepairResult
+from repro.core.stages import RepairContext, RepairPlan
 from repro.dataset.dataset import Cell, Dataset
-from repro.detect.base import DetectionResult, ErrorDetector
-from repro.detect.violations import ViolationDetector
+from repro.detect.base import ErrorDetector
 from repro.external.dictionary import ExternalDictionary
-from repro.inference.gibbs import GibbsSampler
-from repro.inference.softmax import SoftmaxTrainer
 
 
 class RepairSession:
     """A stateful repair workflow over one dataset.
 
     Parameters mirror :meth:`repro.core.pipeline.HoloClean.repair`; the
-    session additionally retains the compiled model so user feedback can
-    be folded in without recompiling.
+    session additionally retains the repair context (grounding engine,
+    detection result, compiled model) so user feedback can be folded in
+    without recompiling.
     """
 
-    def __init__(self, dataset: Dataset, constraints: list[DenialConstraint],
-                 config: HoloCleanConfig | None = None,
-                 dictionaries: list[ExternalDictionary] = (),
-                 matching_dependencies: list[MatchingDependency] = (),
-                 extra_detectors: list[ErrorDetector] = ()):
+    def __init__(
+        self,
+        dataset: Dataset,
+        constraints: list[DenialConstraint],
+        config: HoloCleanConfig | None = None,
+        dictionaries: list[ExternalDictionary] = (),
+        matching_dependencies: list[MatchingDependency] = (),
+        extra_detectors: list[ErrorDetector] = (),
+    ):
         self.dataset = dataset
         self.constraints = list(constraints)
         self.config = config or HoloCleanConfig()
         self.dictionaries = list(dictionaries)
         self.matching_dependencies = list(matching_dependencies)
         self.extra_detectors = list(extra_detectors)
-        self._model: CompiledModel | None = None
-        self._detection: DetectionResult | None = None
+        self._ctx: RepairContext | None = None
         self._feedback: dict[Cell, str] = {}
         self._last_result: RepairResult | None = None
 
@@ -60,22 +65,36 @@ class RepairSession:
     # Pipeline
     # ------------------------------------------------------------------
     def run(self) -> RepairResult:
-        """Detect, compile, learn, infer — and keep the model around."""
-        self._detection = ViolationDetector(self.constraints).detect(self.dataset)
-        for detector in self.extra_detectors:
-            self._detection.merge(detector.detect(self.dataset))
-        compiler = ModelCompiler(
-            self.dataset, self.constraints, self.config, self._detection,
+        """Run the default plan on a fresh context and keep it around."""
+        self._ctx = RepairContext(
+            dataset=self.dataset,
+            constraints=self.constraints,
+            config=self.config,
             dictionaries=self.dictionaries,
-            matching_dependencies=self.matching_dependencies)
-        self._model = compiler.compile()
-        return self._infer_and_package()
+            matching_dependencies=self.matching_dependencies,
+            extra_detectors=self.extra_detectors,
+        )
+        return self._execute(RepairPlan.default())
 
     def rerun(self) -> RepairResult:
-        """Re-learn and re-infer with the accumulated feedback."""
-        if self._model is None:
+        """Re-learn and re-infer with the accumulated feedback.
+
+        Detection and the compiled model are reused from the retained
+        context; only the learn → infer → apply suffix runs again.
+        """
+        if self._ctx is None or self._ctx.model is None:
             return self.run()
-        return self._infer_and_package()
+        return self._execute(RepairPlan.default().starting_at("learn"))
+
+    @property
+    def context(self) -> RepairContext | None:
+        """The retained repair context (``None`` before :meth:`run`)."""
+        return self._ctx
+
+    @property
+    def model(self) -> CompiledModel | None:
+        """The compiled model of the last run (``None`` before it)."""
+        return self._ctx.model if self._ctx is not None else None
 
     # ------------------------------------------------------------------
     # Review & feedback
@@ -85,14 +104,15 @@ class RepairSession:
         sorted least-confident first — the review queue of Section 2.2."""
         if self._last_result is None:
             raise RuntimeError("run() the session before reviewing")
-        queue = [inf for inf in self._last_result.repairs.values()
-                 if inf.confidence < below]
+        queue = [
+            inf for inf in self._last_result.repairs.values() if inf.confidence < below
+        ]
         return sorted(queue, key=lambda inf: inf.confidence)
 
     def feedback(self, cell: Cell, correct_value: str) -> None:
         """Record a user-verified value for one cell."""
-        if self._model is not None and \
-                self._model.graph.variables.by_cell(cell) is None:
+        model = self.model
+        if model is not None and model.graph.variables.by_cell(cell) is None:
             raise KeyError(f"{cell} is not a noisy cell of this session")
         self._feedback[cell] = correct_value
 
@@ -103,84 +123,10 @@ class RepairSession:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _infer_and_package(self) -> RepairResult:
-        model = self._model
-        assert model is not None
-        config = self.config
-
-        # Fold feedback into training: verified cells become labeled
-        # evidence (strong supervision) and are clamped at their value.
-        extra_ids: list[int] = []
-        extra_labels: list[int] = []
-        clamped: dict[int, int] = {}
-        for cell, value in self._feedback.items():
-            info = model.graph.variables.by_cell(cell)
-            if info is None:
-                continue
-            index = info.candidate_index(value)
-            if index is None:
-                continue  # outside the domain: applied directly below
-            extra_ids.append(info.vid)
-            extra_labels.append(index)
-            clamped[info.vid] = index
-
-        space = model.graph.space
-        fixed = space.fixed_weights
-        minimality_idx = space.get(("minimality",))
-        if minimality_idx is not None:
-            fixed[minimality_idx] = 0.0
-        trainer = SoftmaxTrainer(
-            model.graph.matrix, epochs=config.epochs,
-            learning_rate=config.learning_rate, l2=config.l2,
-            max_training_vars=config.max_training_cells, seed=config.seed,
-            fixed_weights=fixed)
-        outcome = trainer.train(model.evidence_ids + extra_ids,
-                                model.evidence_labels + extra_labels)
-        weights = outcome.weights
-        if minimality_idx is not None:
-            weights[minimality_idx] = config.minimality_weight
-
-        if model.graph.factors:
-            sampler = GibbsSampler(model.graph, weights, seed=config.seed)
-            marginals = sampler.run(burn_in=config.gibbs_burn_in,
-                                    sweeps=config.gibbs_sweeps).marginals
-        else:
-            marginals = trainer.marginals(weights, model.query_ids)
-
-        repaired = self.dataset.copy(name=f"{self.dataset.name}-repaired")
-        inferences: dict[Cell, CellInference] = {}
-        for vid in model.query_ids:
-            info = model.graph.variables[vid]
-            if vid in clamped:
-                index = clamped[vid]
-                marginal = np.zeros(info.domain_size)
-                marginal[index] = 1.0
-            else:
-                marginal = marginals[vid]
-                index = int(np.argmax(marginal))
-            chosen = info.domain[index]
-            inference = CellInference(
-                cell=info.cell, init_value=self.dataset.cell_value(info.cell),
-                chosen_value=chosen, confidence=float(marginal[index]),
-                domain=list(info.domain),
-                marginal=np.asarray(marginal, dtype=np.float64))
-            inferences[info.cell] = inference
-            if inference.is_repair:
-                repaired.set_value(info.cell.tid, info.cell.attribute, chosen)
-
-        # Feedback values outside the candidate domain are applied as-is.
-        for cell, value in self._feedback.items():
-            info = model.graph.variables.by_cell(cell)
-            if info is not None and info.candidate_index(value) is None:
-                repaired.set_value(cell.tid, cell.attribute, value)
-                inferences[cell] = CellInference(
-                    cell=cell, init_value=self.dataset.cell_value(cell),
-                    chosen_value=value, confidence=1.0, domain=[value],
-                    marginal=np.array([1.0]))
-
-        result = RepairResult(repaired=repaired, inferences=inferences,
-                              size_report=model.size_report(),
-                              training_losses=outcome.losses,
-                              config=config)
-        self._last_result = result
-        return result
+    def _execute(self, plan: RepairPlan) -> RepairResult:
+        ctx = self._ctx
+        assert ctx is not None
+        ctx.feedback = dict(self._feedback)
+        self._ctx = ctx = plan.run(ctx)
+        self._last_result = ctx.result
+        return ctx.result

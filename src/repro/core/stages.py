@@ -1,0 +1,451 @@
+"""The staged repair API: Detect → Compile → Learn → Infer → Apply.
+
+Figure 2 of the paper describes HoloClean as explicit modules (error
+detection, compilation, repair); this module makes that decomposition
+the public API instead of a private method chain.  One
+:class:`RepairContext` carries the evolving state of a repair — the
+dirty dataset, the configuration, the shared grounding
+:class:`~repro.engine.Engine`, the
+:class:`~repro.detect.base.DetectionResult`, the compiled model,
+learned weights, marginals, and finally the
+:class:`~repro.core.repair.RepairResult` — and five stage objects each
+transform that context:
+
+* :class:`DetectStage` — denial-constraint violations plus any extra
+  detectors split the dataset into noisy and clean cells;
+* :class:`CompileStage` — Algorithm 2 pruning, featurization, and (in
+  factor variants) Algorithm 1 grounding produce a
+  :class:`~repro.core.compiler.CompiledModel`;
+* :class:`LearnStage` — ERM over the evidence cells (plus any
+  user-feedback evidence recorded on the context);
+* :class:`InferStage` — exact softmax marginals, or Gibbs sampling when
+  constraint factors are present;
+* :class:`ApplyStage` — MAP assignment per noisy cell, feedback clamps,
+  and packaging into a :class:`~repro.core.repair.RepairResult`.
+
+A :class:`RepairPlan` composes stages; :meth:`RepairPlan.default` is
+the paper's pipeline.  Because every artifact lives on the context,
+callers can re-enter anywhere: keep a context's detection and re-run
+compilation under a different configuration, or keep its compiled
+model and re-run only learn → infer → apply (the Section 2.2 feedback
+loop — :class:`~repro.core.session.RepairSession` is built exactly
+this way).  Stages that find their artifact already on the context
+skip themselves, so re-running a full plan on a warm context only
+repeats the learning half.
+
+Each stage records its wall-clock under its name in
+``RepairContext.timings``; :meth:`RepairContext.phase_timings` folds
+those into the three phases the paper reports (detection /
+compilation / learning+inference), which is what lands in
+``RepairResult.timings``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.matching import MatchingDependency
+from repro.core.compiler import CompiledModel, ModelCompiler
+from repro.core.config import HoloCleanConfig
+from repro.core.repair import CellInference, RepairResult
+from repro.dataset.dataset import Cell, Dataset
+from repro.detect.base import DetectionResult, ErrorDetector
+from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
+from repro.external.dictionary import ExternalDictionary
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.softmax import SoftmaxTrainer, TrainingResult
+
+#: Stage names of the default plan, in pipeline order.
+STAGE_ORDER = ("detect", "compile", "learn", "infer", "apply")
+
+
+@dataclass
+class RepairContext:
+    """Shared state threaded through the stages of one repair.
+
+    The first block is the problem statement (immutable inputs); the
+    second block is filled in by the stages; the third block carries
+    Section 2.2 user feedback for :class:`LearnStage` /
+    :class:`ApplyStage` to fold in.  Artifacts persist across plan
+    runs, which is what makes partial re-runs (reused detection,
+    reused model) possible — clear a field to force its stage to
+    recompute.
+    """
+
+    # --- inputs -----------------------------------------------------------
+    dataset: Dataset
+    constraints: list[DenialConstraint]
+    config: HoloCleanConfig = field(default_factory=HoloCleanConfig)
+    dictionaries: list[ExternalDictionary] = field(default_factory=list)
+    matching_dependencies: list[MatchingDependency] = field(default_factory=list)
+    extra_detectors: list[ErrorDetector] = field(default_factory=list)
+
+    # --- artifacts produced by the stages --------------------------------
+    engine: Engine | None = None
+    detection: DetectionResult | None = None
+    model: CompiledModel | None = None
+    weights: np.ndarray | None = None
+    losses: list[float] = field(default_factory=list)
+    marginals: dict[int, np.ndarray] | None = None
+    result: RepairResult | None = None
+    #: Per-stage wall-clock, keyed by stage name; a stage overwrites its
+    #: entry every time it runs.
+    timings: dict[str, float] = field(default_factory=dict)
+
+    # --- user feedback (Section 2.2) --------------------------------------
+    #: Cell → user-verified value.  In-domain values become labeled
+    #: evidence in :class:`LearnStage` and clamps in :class:`ApplyStage`;
+    #: out-of-domain values are applied to the repaired dataset directly.
+    feedback: dict[Cell, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def ensure_engine(self) -> Engine | None:
+        """The shared grounding engine (or ``None`` when disabled).
+
+        One columnar encoding of the dirty dataset feeds detection,
+        pruning, featurization, and DC-factor pair enumeration; it is
+        built lazily on first demand and cached on the context.
+        """
+        if self.engine is None and self.config.use_engine:
+            self.engine = Engine(self.dataset, backend=self.config.engine_backend)
+        return self.engine
+
+    def phase_timings(self) -> dict[str, float]:
+        """Stage timings folded into the paper's three reported phases."""
+        repair = sum(
+            self.timings.get(name, 0.0) for name in ("learn", "infer", "apply")
+        )
+        return {
+            "detect": self.timings.get("detect", 0.0),
+            "compile": self.timings.get("compile", 0.0),
+            "repair": repair,
+        }
+
+
+@dataclass
+class FeedbackEvidence:
+    """User feedback resolved against a compiled model's variables."""
+
+    extra_ids: list[int] = field(default_factory=list)
+    extra_labels: list[int] = field(default_factory=list)
+    clamps: dict[int, int] = field(default_factory=dict)
+    out_of_domain: dict[Cell, str] = field(default_factory=dict)
+
+
+def resolve_feedback(
+    model: CompiledModel,
+    feedback: dict[Cell, str],
+) -> FeedbackEvidence:
+    """Split verified cells into labeled evidence, clamps, and direct edits.
+
+    Verified values inside a variable's candidate domain become strong
+    supervision (extra evidence for :class:`LearnStage`) and clamps
+    (:class:`ApplyStage` forces the one-hot marginal); values outside
+    the domain cannot be expressed in the model and are applied to the
+    repaired dataset as-is.  Cells with no variable are ignored.
+    """
+    resolved = FeedbackEvidence()
+    for cell, value in feedback.items():
+        info = model.graph.variables.by_cell(cell)
+        if info is None:
+            continue
+        index = info.candidate_index(value)
+        if index is None:
+            resolved.out_of_domain[cell] = value
+            continue
+        resolved.extra_ids.append(info.vid)
+        resolved.extra_labels.append(index)
+        resolved.clamps[info.vid] = index
+    return resolved
+
+
+class Stage:
+    """One pipeline stage: a callable ``run(ctx) -> ctx`` with timing.
+
+    Subclasses implement :meth:`execute`; :meth:`run` wraps it with a
+    wall-clock measurement recorded under :attr:`name` in
+    ``ctx.timings``.  A stage whose :meth:`should_run` returns False is
+    skipped entirely, leaving any previously recorded timing intact
+    (a missing entry is backfilled with 0.0 so the key set is stable).
+    """
+
+    name: str = "stage"
+
+    def run(self, ctx: RepairContext) -> RepairContext:
+        if not self.should_run(ctx):
+            ctx.timings.setdefault(self.name, 0.0)
+            return ctx
+        started = time.perf_counter()
+        ctx = self.execute(ctx)
+        ctx.timings[self.name] = time.perf_counter() - started
+        return ctx
+
+    def __call__(self, ctx: RepairContext) -> RepairContext:
+        return self.run(ctx)
+
+    def should_run(self, ctx: RepairContext) -> bool:
+        """False when the stage's artifact is already on the context."""
+        return True
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DetectStage(Stage):
+    """Error detection: violations ∪ extra detectors → noisy cells.
+
+    Skips itself when the context already carries a detection result
+    (precomputed or kept from an earlier run).
+    """
+
+    name = "detect"
+
+    def should_run(self, ctx: RepairContext) -> bool:
+        return ctx.detection is None
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        detector = ViolationDetector(ctx.constraints, engine=ctx.ensure_engine())
+        detection = detector.detect(ctx.dataset)
+        for detector in ctx.extra_detectors:
+            detection.merge(detector.detect(ctx.dataset))
+        ctx.detection = detection
+        return ctx
+
+
+class CompileStage(Stage):
+    """Compilation: signals → grounded probabilistic model.
+
+    Skips itself when the context already carries a compiled model;
+    clear ``ctx.model`` to force recompilation (e.g. after changing
+    the configuration).
+    """
+
+    name = "compile"
+
+    def should_run(self, ctx: RepairContext) -> bool:
+        return ctx.model is None
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        if ctx.detection is None:
+            raise RuntimeError("run DetectStage first: context has no detection")
+        compiler = ModelCompiler(
+            ctx.dataset,
+            ctx.constraints,
+            ctx.config,
+            ctx.detection,
+            dictionaries=ctx.dictionaries,
+            matching_dependencies=ctx.matching_dependencies,
+            engine=ctx.ensure_engine(),
+        )
+        ctx.model = compiler.compile()
+        return ctx
+
+
+class LearnStage(Stage):
+    """Weight learning: ERM over evidence cells plus feedback evidence."""
+
+    name = "learn"
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        if ctx.model is None:
+            raise RuntimeError("run CompileStage first: context has no model")
+        resolved = resolve_feedback(ctx.model, ctx.feedback)
+        outcome = self.train(
+            ctx.model,
+            ctx.config,
+            extra_ids=resolved.extra_ids,
+            extra_labels=resolved.extra_labels,
+        )
+        ctx.weights = outcome.weights
+        ctx.losses = outcome.losses
+        return ctx
+
+    @staticmethod
+    def train(
+        model: CompiledModel,
+        config: HoloCleanConfig,
+        extra_ids: list[int] = (),
+        extra_labels: list[int] = (),
+    ) -> TrainingResult:
+        """Fit the model's weights with the minimality prior held out.
+
+        The minimality prior is an inference-time prior over repair
+        decisions ("a positive constant", Section 4.2), not a learnable
+        part of the likelihood: since every training label *is* the
+        initial value, letting the prior participate in the
+        training-time scores makes it absorb the labels and starves the
+        genuine signals (co-occurrence, source reliability) of
+        gradient.  We therefore pin it to 0 during the fit and restore
+        the configured constant for inference.  ``extra_ids`` /
+        ``extra_labels`` append user-verified cells as strong
+        supervision.
+        """
+        space = model.graph.space
+        fixed = space.fixed_weights
+        minimality_idx = space.get(("minimality",))
+        if minimality_idx is not None:
+            fixed[minimality_idx] = 0.0
+        trainer = SoftmaxTrainer(
+            model.graph.matrix,
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            l2=config.l2,
+            max_training_vars=config.max_training_cells,
+            seed=config.seed,
+            fixed_weights=fixed,
+        )
+        outcome = trainer.train(
+            model.evidence_ids + list(extra_ids),
+            model.evidence_labels + list(extra_labels),
+        )
+        if minimality_idx is not None:
+            outcome.weights[minimality_idx] = config.minimality_weight
+        return outcome
+
+
+class InferStage(Stage):
+    """Marginal inference: exact softmax, or Gibbs when factors exist."""
+
+    name = "infer"
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        if ctx.model is None or ctx.weights is None:
+            raise RuntimeError("run LearnStage first: context has no weights")
+        model, config = ctx.model, ctx.config
+        if model.graph.factors:
+            sampler = GibbsSampler(model.graph, ctx.weights, seed=config.seed)
+            outcome = sampler.run(
+                burn_in=config.gibbs_burn_in,
+                sweeps=config.gibbs_sweeps,
+            )
+            ctx.marginals = outcome.marginals
+        else:
+            trainer = SoftmaxTrainer(model.graph.matrix)
+            ctx.marginals = trainer.marginals(ctx.weights, model.query_ids)
+        return ctx
+
+
+class ApplyStage(Stage):
+    """MAP assignment and packaging into a :class:`RepairResult`.
+
+    Feedback clamps force verified cells to their one-hot marginal;
+    out-of-domain feedback values are written to the repaired dataset
+    directly.  The result's ``timings`` report the three paper phases
+    (including this stage's own wall-clock, folded in after the run).
+    """
+
+    name = "apply"
+
+    def run(self, ctx: RepairContext) -> RepairContext:
+        ctx = super().run(ctx)
+        # Re-fold timings now that this stage's own cost is recorded.
+        if ctx.result is not None:
+            ctx.result.timings = ctx.phase_timings()
+        return ctx
+
+    def execute(self, ctx: RepairContext) -> RepairContext:
+        if ctx.model is None or ctx.marginals is None:
+            raise RuntimeError("run InferStage first: context has no marginals")
+        model, dataset = ctx.model, ctx.dataset
+        resolved = resolve_feedback(model, ctx.feedback)
+        repaired = dataset.copy(name=f"{dataset.name}-repaired")
+        inferences: dict[Cell, CellInference] = {}
+        for vid in model.query_ids:
+            info = model.graph.variables[vid]
+            if vid in resolved.clamps:
+                index = resolved.clamps[vid]
+                marginal = np.zeros(info.domain_size)
+                marginal[index] = 1.0
+            else:
+                marginal = ctx.marginals[vid]
+                index = int(np.argmax(marginal))
+            chosen = info.domain[index]
+            inference = CellInference(
+                cell=info.cell,
+                init_value=dataset.cell_value(info.cell),
+                chosen_value=chosen,
+                confidence=float(marginal[index]),
+                domain=list(info.domain),
+                marginal=np.asarray(marginal, dtype=np.float64),
+            )
+            inferences[info.cell] = inference
+            if inference.is_repair:
+                repaired.set_value(info.cell.tid, info.cell.attribute, chosen)
+
+        # Feedback values outside the candidate domain are applied as-is.
+        for cell, value in resolved.out_of_domain.items():
+            repaired.set_value(cell.tid, cell.attribute, value)
+            inferences[cell] = CellInference(
+                cell=cell,
+                init_value=dataset.cell_value(cell),
+                chosen_value=value,
+                confidence=1.0,
+                domain=[value],
+                marginal=np.array([1.0]),
+            )
+
+        # ``timings`` is folded in by run() once this stage's own
+        # wall-clock is recorded.
+        ctx.result = RepairResult(
+            repaired=repaired,
+            inferences=inferences,
+            size_report=model.size_report(),
+            training_losses=list(ctx.losses),
+            config=ctx.config,
+        )
+        return ctx
+
+
+class RepairPlan:
+    """An ordered composition of stages applied to one context.
+
+    :meth:`default` is the paper's pipeline; :meth:`starting_at`
+    slices a suffix for partial re-runs (e.g. ``starting_at("learn")``
+    to reuse a context's detection and model and redo only
+    learn → infer → apply).
+    """
+
+    def __init__(self, stages: list[Stage]):
+        self.stages = list(stages)
+
+    @classmethod
+    def default(cls) -> "RepairPlan":
+        stages = [
+            DetectStage(),
+            CompileStage(),
+            LearnStage(),
+            InferStage(),
+            ApplyStage(),
+        ]
+        return cls(stages)
+
+    # ------------------------------------------------------------------
+    @property
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+    def starting_at(self, name: str) -> "RepairPlan":
+        """The sub-plan from the named stage onward."""
+        names = self.stage_names
+        if name not in names:
+            raise ValueError(f"no stage named {name!r}; plan has {names}")
+        return RepairPlan(self.stages[names.index(name) :])
+
+    def run(self, ctx: RepairContext) -> RepairContext:
+        for stage in self.stages:
+            ctx = stage.run(ctx)
+        return ctx
+
+    def __call__(self, ctx: RepairContext) -> RepairContext:
+        return self.run(ctx)
+
+    def __repr__(self) -> str:
+        return f"RepairPlan({' -> '.join(self.stage_names)})"

@@ -2,7 +2,9 @@
 
 Wraps one method run (HoloClean or a baseline) on one generated dataset
 into a uniform :class:`MethodRun` with quality, runtime, and timeout
-status — the row format of Tables 3 and 4.
+status — the row format of Tables 3 and 4.  HoloClean runs go through
+the staged repair plan (:mod:`repro.core.stages`), the same execution
+path as the facade, the CLI, and repair sessions.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from repro.baselines.scare import ScareRepair
 from repro.core.config import HoloCleanConfig
 from repro.core.pipeline import HoloClean
 from repro.core.repair import RepairResult
+from repro.core.stages import RepairPlan
 from repro.data.base import GeneratedDataset
 from repro.eval.metrics import RepairQuality, evaluate_repairs
 
@@ -67,12 +70,12 @@ def run_holoclean(generated: GeneratedDataset,
     ablation.
     """
     cfg = holoclean_config_for(generated, base=config, **overrides)
-    hc = HoloClean(cfg)
     dictionaries = generated.dictionaries if use_external else []
     matching = generated.matching_dependencies if use_external else []
-    result = hc.repair(generated.dirty, generated.constraints,
-                       dictionaries=dictionaries,
-                       matching_dependencies=matching)
+    ctx = HoloClean(cfg).context(generated.dirty, generated.constraints,
+                                 dictionaries=dictionaries,
+                                 matching_dependencies=matching)
+    result = RepairPlan.default().run(ctx).result
     quality = evaluate_repairs(generated.dirty, result.repaired,
                                generated.clean,
                                error_cells=generated.error_cells)

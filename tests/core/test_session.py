@@ -1,8 +1,10 @@
 """Tests for the interactive repair session (Section 2.2 feedback loop)."""
 
+import numpy as np
 import pytest
 
 from repro.core.config import HoloCleanConfig
+from repro.core.pipeline import HoloClean
 from repro.core.session import RepairSession
 from repro.dataset.dataset import Cell
 
@@ -22,6 +24,50 @@ class TestRun:
     def test_rerun_without_run_runs(self, session):
         result = session.rerun()
         assert result.inferences
+
+    def test_run_identical_to_facade(self, session, figure1_dataset,
+                                     figure1_constraints):
+        """A feedback-free session is byte-identical to HoloClean.repair()."""
+        mine = session.run()
+        theirs = HoloClean(session.config).repair(figure1_dataset,
+                                                  figure1_constraints)
+        assert set(mine.inferences) == set(theirs.inferences)
+        for cell, want in theirs.inferences.items():
+            got = mine.inferences[cell]
+            assert got.chosen_value == want.chosen_value
+            assert got.confidence == want.confidence
+            assert got.domain == want.domain
+            np.testing.assert_array_equal(got.marginal, want.marginal)
+        assert mine.repaired == theirs.repaired
+        assert mine.size_report == theirs.size_report
+        assert mine.training_losses == theirs.training_losses
+
+    def test_session_uses_engine_fast_path(self, session):
+        """Sessions thread the Engine into detection/compilation/featurization
+        — pinned by the grounding counters only the engine path emits."""
+        result = session.run()
+        assert session.context.engine is not None
+        assert any(str(key).startswith("grounding_")
+                   for key in result.size_report)
+
+    def test_results_report_phase_timings(self, session):
+        first = session.run()
+        assert set(first.timings) == {"detect", "compile", "repair"}
+        assert all(t >= 0 for t in first.timings.values())
+        session.feedback(Cell(0, "Zip"), "60608")
+        second = session.rerun()
+        # Re-runs keep the detect/compile wall-clock of the original run
+        # and refresh the learning+inference phase.
+        assert set(second.timings) == {"detect", "compile", "repair"}
+        assert second.timings["detect"] == first.timings["detect"]
+
+    def test_rerun_reuses_detection_and_model(self, session):
+        session.run()
+        detection = session.context.detection
+        model = session.context.model
+        session.rerun()
+        assert session.context.detection is detection
+        assert session.context.model is model
 
 
 class TestReviewQueue:

@@ -1,0 +1,314 @@
+"""Equivalence and re-entry tests for the staged repair API.
+
+The oracle below is the pre-refactor monolithic ``HoloClean.repair()``
+(engine build → detect → compile → learn → infer → apply, kept
+verbatim); the staged plan must reproduce its ``RepairResult``
+byte-for-byte — inferences, marginals, repaired dataset, size report,
+and training losses — on the Hospital and Flights generators and on
+the Figure 1 running example, in both softmax and Gibbs (DC-factor)
+variants.  Re-entry tests pin the context-reuse semantics: a reused
+detection or a reused compiled model yields the same output as a cold
+run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import ModelCompiler
+from repro.core.config import HoloCleanConfig
+from repro.core.pipeline import HoloClean
+from repro.core.repair import CellInference, RepairResult
+from repro.core.stages import (
+    STAGE_ORDER,
+    ApplyStage,
+    CompileStage,
+    DetectStage,
+    InferStage,
+    LearnStage,
+    RepairContext,
+    RepairPlan,
+)
+from repro.data import generate_flights, generate_hospital
+from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.softmax import SoftmaxTrainer
+
+
+def legacy_repair(dataset, constraints, config, detection=None):
+    """The pre-refactor ``HoloClean.repair()``, inlined as the oracle."""
+    timings = {}
+    engine = (Engine(dataset, backend=config.engine_backend)
+              if config.use_engine else None)
+
+    if detection is None:
+        detection = ViolationDetector(constraints, engine=engine).detect(dataset)
+    timings["detect"] = 0.0
+
+    compiler = ModelCompiler(dataset, constraints, config, detection,
+                             engine=engine)
+    model = compiler.compile()
+    timings["compile"] = 0.0
+
+    space = model.graph.space
+    fixed = space.fixed_weights
+    minimality_idx = space.get(("minimality",))
+    if minimality_idx is not None:
+        fixed[minimality_idx] = 0.0
+    trainer = SoftmaxTrainer(
+        model.graph.matrix, epochs=config.epochs,
+        learning_rate=config.learning_rate, l2=config.l2,
+        max_training_vars=config.max_training_cells, seed=config.seed,
+        fixed_weights=fixed)
+    outcome = trainer.train(model.evidence_ids, model.evidence_labels)
+    weights = outcome.weights
+    if minimality_idx is not None:
+        weights[minimality_idx] = config.minimality_weight
+
+    if model.graph.factors:
+        sampler = GibbsSampler(model.graph, weights, seed=config.seed)
+        marginals = sampler.run(burn_in=config.gibbs_burn_in,
+                                sweeps=config.gibbs_sweeps).marginals
+    else:
+        marginals = SoftmaxTrainer(model.graph.matrix).marginals(
+            weights, model.query_ids)
+
+    repaired = dataset.copy(name=f"{dataset.name}-repaired")
+    inferences = {}
+    for vid in model.query_ids:
+        info = model.graph.variables[vid]
+        marginal = marginals[vid]
+        best = int(np.argmax(marginal))
+        chosen = info.domain[best]
+        inference = CellInference(
+            cell=info.cell,
+            init_value=dataset.cell_value(info.cell),
+            chosen_value=chosen,
+            confidence=float(marginal[best]),
+            domain=list(info.domain),
+            marginal=np.asarray(marginal, dtype=np.float64))
+        inferences[info.cell] = inference
+        if inference.is_repair:
+            repaired.set_value(info.cell.tid, info.cell.attribute, chosen)
+    timings["repair"] = 0.0
+    result = RepairResult(repaired=repaired, inferences=inferences)
+    result.timings = timings
+    result.size_report = model.size_report()
+    result.training_losses = outcome.losses
+    result.config = config
+    return result
+
+
+def assert_results_equal(actual: RepairResult, oracle: RepairResult):
+    """Byte-identity of everything except wall-clock values."""
+    assert set(actual.inferences) == set(oracle.inferences)
+    for cell in oracle.inferences:
+        got, want = actual.inferences[cell], oracle.inferences[cell]
+        assert got.cell == want.cell
+        assert got.init_value == want.init_value
+        assert got.chosen_value == want.chosen_value
+        assert got.confidence == want.confidence
+        assert got.domain == want.domain
+        np.testing.assert_array_equal(got.marginal, want.marginal)
+    assert actual.repaired == oracle.repaired
+    assert actual.size_report == oracle.size_report
+    assert actual.training_losses == oracle.training_losses
+    assert set(actual.timings) == set(oracle.timings)
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return generate_hospital(num_rows=80)
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return generate_flights(num_flights=5)
+
+
+def config_for(generated, **overrides):
+    fields = dict(tau=generated.recommended_tau,
+                  source_entity_attributes=generated.source_entity_attributes,
+                  epochs=12, seed=3)
+    fields.update(overrides)
+    return HoloCleanConfig(**fields)
+
+
+class TestFacadeEquivalence:
+    """`HoloClean.repair()` ≡ pre-refactor output, per the redesign pledge."""
+
+    def test_hospital(self, hospital):
+        config = config_for(hospital)
+        oracle = legacy_repair(hospital.dirty, hospital.constraints, config)
+        result = HoloClean(config).repair(hospital.dirty, hospital.constraints)
+        assert_results_equal(result, oracle)
+
+    def test_flights(self, flights):
+        config = config_for(flights)
+        oracle = legacy_repair(flights.dirty, flights.constraints, config)
+        result = HoloClean(config).repair(flights.dirty, flights.constraints)
+        assert_results_equal(result, oracle)
+
+    def test_figure1_gibbs_variant(self, figure1_dataset, figure1_constraints):
+        config = HoloCleanConfig.variant(
+            "dc-factors", tau=0.3, epochs=10, seed=1,
+            gibbs_burn_in=2, gibbs_sweeps=5)
+        oracle = legacy_repair(figure1_dataset, figure1_constraints, config)
+        result = HoloClean(config).repair(figure1_dataset, figure1_constraints)
+        assert_results_equal(result, oracle)
+        assert result.size_report["constraint_factors"] > 0
+
+    def test_precomputed_detection(self, figure1_dataset, figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, epochs=10, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        oracle = legacy_repair(figure1_dataset, figure1_constraints, config,
+                               detection=detection)
+        result = HoloClean(config).repair(figure1_dataset, figure1_constraints,
+                                          detection=detection)
+        assert_results_equal(result, oracle)
+
+
+class TestPlanExecution:
+    def test_default_plan_order(self):
+        assert tuple(RepairPlan.default().stage_names) == STAGE_ORDER
+
+    def test_stages_record_timings(self, figure1_dataset, figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        ctx = RepairPlan.default().run(ctx)
+        assert set(ctx.timings) == set(STAGE_ORDER)
+        assert all(t >= 0 for t in ctx.timings.values())
+
+    def test_result_timings_are_three_phases(self, figure1_dataset,
+                                             figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        ctx = RepairPlan.default().run(ctx)
+        assert set(ctx.result.timings) == {"detect", "compile", "repair"}
+        # The repair phase folds learn + infer + apply, apply included.
+        repair = sum(ctx.timings[n] for n in ("learn", "infer", "apply"))
+        assert ctx.result.timings["repair"] == pytest.approx(repair)
+
+    def test_stages_run_individually(self, figure1_dataset, figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        for stage in (DetectStage(), CompileStage(), LearnStage(),
+                      InferStage(), ApplyStage()):
+            ctx = stage(ctx)
+        assert ctx.detection is not None
+        assert ctx.model is not None
+        assert ctx.weights is not None
+        assert ctx.marginals is not None
+        assert ctx.result is not None
+        # Calling ApplyStage as a callable dispatches to its own run(),
+        # so the repair phase includes the apply stage's wall-clock.
+        repair = sum(ctx.timings[n] for n in ("learn", "infer", "apply"))
+        assert ctx.result.timings["repair"] == pytest.approx(repair)
+
+    def test_engine_is_shared_across_stages(self, figure1_dataset,
+                                            figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        ctx = RepairPlan.default().run(ctx)
+        assert ctx.engine is not None
+        assert any(str(k).startswith("grounding_")
+                   for k in ctx.result.size_report)
+
+    def test_engine_off_builds_no_engine(self, figure1_dataset,
+                                         figure1_constraints):
+        ctx = RepairContext(
+            dataset=figure1_dataset, constraints=figure1_constraints,
+            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1,
+                                   use_engine=False))
+        ctx = RepairPlan.default().run(ctx)
+        assert ctx.engine is None
+        assert ctx.result is not None
+
+
+class TestReentry:
+    def test_reused_detection_same_output(self, hospital):
+        config = config_for(hospital)
+        plan = RepairPlan.default()
+        cold = plan.run(RepairContext(dataset=hospital.dirty,
+                                      constraints=hospital.constraints,
+                                      config=config))
+        warm = plan.run(RepairContext(dataset=hospital.dirty,
+                                      constraints=hospital.constraints,
+                                      config=config,
+                                      detection=cold.detection))
+        assert_results_equal(warm.result, cold.result)
+
+    def test_reused_model_same_output(self, hospital):
+        config = config_for(hospital)
+        ctx = RepairPlan.default().run(
+            RepairContext(dataset=hospital.dirty,
+                          constraints=hospital.constraints, config=config))
+        first = ctx.result
+        model = ctx.model
+        ctx = RepairPlan.default().starting_at("learn").run(ctx)
+        assert ctx.model is model  # compile not repeated
+        assert_results_equal(ctx.result, first)
+
+    def test_full_plan_on_warm_context_skips_producers(self, hospital):
+        config = config_for(hospital)
+        ctx = RepairPlan.default().run(
+            RepairContext(dataset=hospital.dirty,
+                          constraints=hospital.constraints, config=config))
+        first = ctx.result
+        detection, model = ctx.detection, ctx.model
+        detect_time = ctx.timings["detect"]
+        compile_time = ctx.timings["compile"]
+        ctx = RepairPlan.default().run(ctx)
+        assert ctx.detection is detection
+        assert ctx.model is model
+        # Skipped stages leave the originally recorded wall-clock intact.
+        assert ctx.timings["detect"] == detect_time
+        assert ctx.timings["compile"] == compile_time
+        assert_results_equal(ctx.result, first)
+
+    def test_clearing_model_forces_recompile(self, figure1_dataset,
+                                             figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, epochs=5, seed=1)
+        ctx = RepairPlan.default().run(
+            RepairContext(dataset=figure1_dataset,
+                          constraints=figure1_constraints, config=config))
+        model = ctx.model
+        ctx.model = None
+        ctx = RepairPlan.default().run(ctx)
+        assert ctx.model is not None and ctx.model is not model
+
+
+class TestStagePreconditions:
+    def test_compile_requires_detection(self, figure1_dataset,
+                                        figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints)
+        with pytest.raises(RuntimeError, match="DetectStage"):
+            CompileStage()(ctx)
+
+    def test_learn_requires_model(self, figure1_dataset, figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints)
+        with pytest.raises(RuntimeError, match="CompileStage"):
+            LearnStage()(ctx)
+
+    def test_infer_requires_weights(self, figure1_dataset, figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints)
+        with pytest.raises(RuntimeError, match="LearnStage"):
+            InferStage()(ctx)
+
+    def test_apply_requires_marginals(self, figure1_dataset,
+                                      figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints)
+        with pytest.raises(RuntimeError, match="InferStage"):
+            ApplyStage()(ctx)
+
+    def test_starting_at_unknown_stage(self):
+        with pytest.raises(ValueError, match="no stage named"):
+            RepairPlan.default().starting_at("ground")
