@@ -15,13 +15,14 @@ lint:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench
 
-# The CI bench job: the two regression-gated performance benchmarks plus
+# The CI bench job: the regression-gated performance benchmarks plus
 # the baseline comparison.
 bench-ci:
 	$(PYTHON) benchmarks/bench_engine_grounding.py
 	$(PYTHON) benchmarks/bench_factor_grounding.py
 	$(PYTHON) benchmarks/bench_factor_tables.py
 	$(PYTHON) benchmarks/bench_featurization.py
+	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/check_regression.py
 
 clean:

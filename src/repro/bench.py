@@ -27,7 +27,11 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs import add_verbosity_flags, configure, get_logger, verbosity_from
+
 _MAIN_GUARD = re.compile(r"__name__\s*==\s*['\"]__main__['\"]")
+
+log = get_logger("bench")
 
 
 def repo_benchmarks_dir() -> Path | None:
@@ -86,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative regression for --check "
                              "(default 0.20)")
+    add_verbosity_flags(parser)
     return parser
 
 
@@ -104,14 +109,15 @@ def summarise(results_dir: Path) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(verbosity_from(args))
     bench_dir = repo_benchmarks_dir()
     if bench_dir is None:
-        print("error: no benchmarks/ directory next to this package "
-              "(bench runs from a repository checkout)", file=sys.stderr)
+        log.error("no benchmarks/ directory next to this package "
+                  "(bench runs from a repository checkout)")
         return 2
     scripts = discover(bench_dir, args.only)
     if not scripts:
-        print("error: no benchmark scripts matched", file=sys.stderr)
+        log.error("no benchmark scripts matched")
         return 2
     if args.list:
         for script in scripts:
@@ -121,12 +127,12 @@ def main(argv: list[str] | None = None) -> int:
     env = child_env(bench_dir)
     failures: list[str] = []
     for script in scripts:
-        print(f"== {script.name}", flush=True)
+        log.info("== %s", script.name)
         started = time.perf_counter()
         proc = subprocess.run(command_for(script), cwd=bench_dir, env=env)
         elapsed = time.perf_counter() - started
         status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
-        print(f"== {script.name}: {status} in {elapsed:.1f}s", flush=True)
+        log.info("== %s: %s in %.1fs", script.name, status, elapsed)
         if proc.returncode != 0:
             failures.append(script.name)
 
@@ -136,8 +142,8 @@ def main(argv: list[str] | None = None) -> int:
         print("\nBENCH results:")
         print("\n".join(summary))
     if failures:
-        print(f"\n{len(failures)} benchmark(s) failed: {', '.join(failures)}",
-              file=sys.stderr)
+        log.error("%d benchmark(s) failed: %s",
+                  len(failures), ", ".join(failures))
         return 1
 
     if args.check:

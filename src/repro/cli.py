@@ -9,11 +9,15 @@ Usage::
 The constraints file uses the textual denial-constraint format
 (``t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)``, ``#`` comments allowed);
 ``--fd`` adds functional dependencies on top.  The repaired dataset is
-written to ``--output`` and a human-readable repair report (cell, old
-value, new value, confidence) to ``--report`` or stdout.
+written to ``--output``; ``--report`` takes either a ``.json`` path
+(the telemetry :class:`~repro.obs.report.RunReport` — trace tree,
+metrics, config fingerprint) or any other path for the human-readable
+repair table (cell, old value, new value, confidence; stdout when the
+flag is omitted).
 
 ``python -m repro bench [...]`` runs the repository's benchmark suite
-instead (see :mod:`repro.bench`).
+(see :mod:`repro.bench`); ``python -m repro trace report.json`` renders
+a saved run report as a text flamegraph.
 
 Repairs execute through the staged plan of :mod:`repro.core.stages`
 (Detect → Compile → Learn → Infer → Apply), the same path as the
@@ -32,6 +36,15 @@ from repro.core.config import VARIANTS, HoloCleanConfig
 from repro.core.pipeline import HoloClean
 from repro.core.stages import RepairPlan
 from repro.dataset.csv_io import read_csv, write_csv
+from repro.obs import (
+    RunReport,
+    add_verbosity_flags,
+    configure,
+    get_logger,
+    verbosity_from,
+)
+
+log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated entity key for source "
                              "reliability (e.g. Flight)")
     parser.add_argument("--report", type=Path, default=None,
-                        help="write the repair report here (default stdout)")
+                        help="write a report here: a .json path gets the "
+                             "telemetry run report (trace + metrics), any "
+                             "other path the textual repair table "
+                             "(default stdout)")
     parser.add_argument("--min-confidence", type=float, default=0.0,
                         help="only apply repairs at or above this marginal")
     parser.add_argument("--engine", choices=("numpy", "sqlite", "off"),
@@ -76,7 +92,40 @@ def build_parser() -> argparse.ArgumentParser:
                              "pair enumeration: vectorized NumPy (default), "
                              "in-memory SQLite, or 'off' for the naive "
                              "tuple-at-a-time path")
+    parser.add_argument("--trace-level", choices=("off", "stage", "deep"),
+                        default="stage",
+                        help="telemetry span granularity: one span per "
+                             "stage (default), engine/inference child "
+                             "spans too ('deep'), or none ('off')")
+    parser.add_argument("--trace-memory", action="store_true",
+                        help="run tracemalloc so trace spans carry "
+                             "Python-heap peak memory (slower)")
+    add_verbosity_flags(parser)
     return parser
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """``repro trace report.json``: render a saved run report as text."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="render a run report (from --report out.json) as a "
+                    "text flamegraph with per-stage timings and metrics")
+    parser.add_argument("report", type=Path,
+                        help="run-report JSON written by 'repro --report "
+                             "out.json' or RunReport.save()")
+    add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    configure(verbosity_from(args))
+    try:
+        report = RunReport.load(args.report)
+    except (OSError, ValueError) as exc:
+        log.error("cannot read run report %s: %s", args.report, exc)
+        return 2
+    try:
+        print(report.render_text())
+    except BrokenPipeError:  # e.g. `repro trace run.json | head`
+        sys.stderr.close()  # suppress the interpreter's epipe warning
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,7 +135,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
+    configure(verbosity_from(args))
 
     dataset = read_csv(args.input, source_attribute=args.source_column)
     constraints = []
@@ -101,11 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         discovered = discover_fds(dataset,
                                   min_confidence=args.discover_confidence)
         for d in discovered:
-            print(f"discovered: {d}", file=sys.stderr)
+            log.info("discovered: %s", d)
         constraints.extend(discovered_to_constraints(discovered))
     if not constraints:
-        print("error: no constraints given (use --constraints, --fd, or "
-              "--discover-fds)", file=sys.stderr)
+        log.error("no constraints given (use --constraints, --fd, or "
+                  "--discover-fds)")
         return 2
 
     entity = tuple(c.strip() for c in args.entity_columns.split(",")) \
@@ -114,10 +166,17 @@ def main(argv: list[str] | None = None) -> int:
         args.variant, tau=args.tau, epochs=args.epochs, seed=args.seed,
         source_entity_attributes=entity,
         use_engine=args.engine != "off",
-        engine_backend=args.engine if args.engine != "off" else "numpy")
+        engine_backend=args.engine if args.engine != "off" else "numpy",
+        trace_level=args.trace_level,
+        trace_memory=args.trace_memory)
 
+    log.debug("repairing %s with %d constraints (variant=%s, engine=%s)",
+              args.input, len(constraints), args.variant, args.engine)
     ctx = HoloClean(config).context(dataset, constraints)
-    result = RepairPlan.default().run(ctx).result
+    ctx = RepairPlan.default().run(ctx)
+    result = ctx.result
+    if ctx.tracer is not None:
+        ctx.tracer.shutdown()
 
     # Apply the confidence floor, if any.
     repaired = dataset.copy(name=f"{dataset.name}-repaired")
@@ -134,12 +193,19 @@ def main(argv: list[str] | None = None) -> int:
 
     write_csv(repaired, args.output)
     report = "\n".join(report_lines)
-    if args.report:
+    if args.report and args.report.suffix == ".json":
+        # Telemetry run report (render later with `repro trace`).
+        if result.report is None:
+            log.error("no run report recorded (is --trace-level off?)")
+            return 2
+        result.report.save(args.report)
+        log.info("run report written to %s", args.report)
+    elif args.report:
         args.report.write_text(report + "\n")
     else:
         print(report)
-    print(f"\n{result.summary()}", file=sys.stderr)
-    print(f"{applied} repairs applied to {args.output}", file=sys.stderr)
+    log.info("%s", result.summary())
+    log.info("%d repairs applied to %s", applied, args.output)
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.external.matcher import match_dictionary
 from repro.inference.factor_graph import ConstraintFactor, FactorGraph
 from repro.inference.features import FeatureMatrixBuilder, FeatureSpace
 from repro.inference.variables import VariableBlock
+from repro.obs.trace import deep_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine
@@ -98,10 +99,12 @@ class ModelCompiler:
         pruner = DomainPruner(self.dataset, self.stats, tau=config.tau,
                               max_domain=config.max_domain,
                               strategy=config.domain_strategy)
-        query_domains = pruner.domains(query_cells)
+        with deep_span("compile.prune_domains", cells=len(query_cells)):
+            query_domains = pruner.domains(query_cells)
 
         evidence_cells = self._sample_evidence(set(query_domains))
-        evidence_domains = pruner.domains(evidence_cells)
+        with deep_span("compile.prune_evidence", cells=len(evidence_cells)):
+            evidence_domains = pruner.domains(evidence_cells)
 
         # The slice of the InitValue relation this model grounds against,
         # materialised once (column-decoded by the engine when available)
@@ -150,7 +153,8 @@ class ModelCompiler:
             evidence_ids.append(vid)
             evidence_labels.append(info.observed_index)
 
-        feature_stats = self._featurize_all(context, specs, builder)
+        with deep_span("compile.featurize", variables=len(specs)):
+            feature_stats = self._featurize_all(context, specs, builder)
 
         if config.use_minimality and ("minimality",) in space:
             space.set_fixed(("minimality",), config.minimality_weight)
@@ -329,23 +333,27 @@ class ModelCompiler:
         skipped = 0
         pairs = 0
         for dc in self.constraints:
-            if dc.is_single_tuple:
-                skipped += self._ground_single_tuple_factors(graph, dc)
-                continue
-            if builder is not None and builder.supports(dc):
-                for left, right in enumerator.pair_chunks(
-                        dc, config.use_partitioning, hypergraph):
-                    pairs += len(left)
-                    factors, chunk_skipped = builder.ground_chunk(
-                        dc, left, right)
-                    graph.add_factors(factors)
-                    skipped += chunk_skipped
-                continue
-            for t1, t2 in enumerator.pairs_for(dc, config.use_partitioning,
-                                               hypergraph):
-                pairs += 1
-                if not self._ground_pair_factor(graph, dc, t1, t2):
-                    skipped += 1
+            with deep_span("compile.ground_dc", constraint=dc.name) as sp:
+                dc_pairs = 0
+                if dc.is_single_tuple:
+                    skipped += self._ground_single_tuple_factors(graph, dc)
+                elif builder is not None and builder.supports(dc):
+                    for left, right in enumerator.pair_chunks(
+                            dc, config.use_partitioning, hypergraph):
+                        dc_pairs += len(left)
+                        factors, chunk_skipped = builder.ground_chunk(
+                            dc, left, right)
+                        graph.add_factors(factors)
+                        skipped += chunk_skipped
+                else:
+                    for t1, t2 in enumerator.pairs_for(
+                            dc, config.use_partitioning, hypergraph):
+                        dc_pairs += 1
+                        if not self._ground_pair_factor(graph, dc, t1, t2):
+                            skipped += 1
+                pairs += dc_pairs
+                if sp is not None:
+                    sp.attributes["pairs"] = dc_pairs
         grounding: dict[str, int | str] = {
             "enumerator": type(enumerator).__name__}
         grounding.update(getattr(enumerator, "stats", {}))

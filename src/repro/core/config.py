@@ -123,6 +123,22 @@ class HoloCleanConfig:
     #: original architecture).
     engine_backend: str = "numpy"
 
+    # --- observability --------------------------------------------------------
+    #: Trace-span verbosity of the telemetry subsystem (:mod:`repro.obs`):
+    #: ``"stage"`` (default) records one span per pipeline stage —
+    #: overhead is five context managers per repair; ``"deep"``
+    #: additionally records engine/inference child spans (backend joins,
+    #: pair-chunk streaming, factor tables, featurizer families, Gibbs
+    #: sweeps, trainer epochs); ``"off"`` records nothing.  Tracing never
+    #: changes repair output — traced and untraced runs are byte-identical.
+    trace_level: str = "stage"
+
+    #: Start :mod:`tracemalloc` for the repair so trace spans carry
+    #: Python-heap peak-memory numbers.  Off by default (tracemalloc
+    #: slows allocation-heavy code measurably); the end-to-end benchmark
+    #: turns it on to publish per-stage memory.
+    trace_memory: bool = False
+
     # --- learning -----------------------------------------------------------
     epochs: int = 60
     learning_rate: float = 0.1
@@ -153,6 +169,10 @@ class HoloCleanConfig:
             raise ValueError(
                 f"engine_backend must be 'numpy' or 'sqlite', got "
                 f"{self.engine_backend!r}")
+        if self.trace_level not in ("off", "stage", "deep"):
+            raise ValueError(
+                f"trace_level must be 'off', 'stage', or 'deep', got "
+                f"{self.trace_level!r}")
         if self.factor_chunk_pairs < 1:
             raise ValueError("factor_chunk_pairs must be at least 1")
         if self.factor_stream_budget < 1:

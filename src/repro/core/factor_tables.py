@@ -33,6 +33,7 @@ from repro.dataset.dataset import Cell, Dataset
 from repro.engine import ops
 from repro.inference.factor_graph import ConstraintFactor
 from repro.inference.variables import VariableBlock
+from repro.obs.trace import deep_span
 
 #: Upper bound on the cells of one broadcast evaluation block; groups
 #: with more pairs than fit are evaluated in consecutive sub-blocks.
@@ -244,6 +245,15 @@ class VectorFactorTableBuilder:
         that ground no factor — no query variables, table over the cap,
         or a constant table.
         """
+        with deep_span("ground.factor_chunk", constraint=dc.name,
+                       pairs=len(left)) as sp:
+            factors, skipped = self._ground_chunk(dc, left, right)
+            if sp is not None:
+                sp.attributes["factors"] = len(factors)
+            return factors, skipped
+
+    def _ground_chunk(self, dc: DenialConstraint, left: np.ndarray,
+                      right: np.ndarray) -> tuple[list[ConstraintFactor], int]:
         plan = self._plan_for(dc)
         num_pairs = len(left)
         self.stats["pairs"] += num_pairs

@@ -30,6 +30,7 @@ from repro.constraints.denial import DenialConstraint
 from repro.constraints.predicates import TupleRef
 from repro.dataset.dataset import Cell, Dataset
 from repro.detect.hypergraph import ConflictHypergraph
+from repro.obs.trace import deep_enabled, deep_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine
@@ -238,14 +239,34 @@ class VectorPairEnumerator(PairEnumerator):
     # ------------------------------------------------------------------
     def pair_chunks(self, dc: DenialConstraint, use_partitioning: bool = False,
                     hypergraph: ConflictHypergraph | None = None):
-        """Yield the constraint's pair stream as ``(left, right)`` arrays.
+        """The constraint's pair stream as ``(left, right)`` array chunks.
 
         The concatenation of the chunks is exactly the tuple stream of
         :meth:`pairs_for` — same pairs, same order, same ``max_pairs``
         cap — delivered columnar instead of tuple-at-a-time, which is
         what bulk consumers (benchmarks, future vectorized factor
-        builders) should iterate.
+        builders) should iterate.  Under deep tracing each chunk's
+        production time is recorded in its own ``ground.pair_chunk``
+        span (the span clocks the enumerator, not the consumer).
         """
+        inner = self._pair_chunks(dc, use_partitioning, hypergraph)
+        if not deep_enabled():
+            return inner
+        return self._traced_chunks(dc, inner)
+
+    def _traced_chunks(self, dc: DenialConstraint, inner):
+        while True:
+            with deep_span("ground.pair_chunk", constraint=dc.name) as sp:
+                try:
+                    left, right = next(inner)
+                except StopIteration:
+                    return
+                if sp is not None:
+                    sp.attributes["pairs"] = int(len(left))
+            yield left, right
+
+    def _pair_chunks(self, dc: DenialConstraint, use_partitioning: bool,
+                     hypergraph: ConflictHypergraph | None):
         if not dc.equijoin_predicates:
             yield from self._fallback_chunks(dc, use_partitioning, hypergraph)
             return

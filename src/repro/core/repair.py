@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.config import HoloCleanConfig
 from repro.dataset.dataset import Cell, Dataset
+from repro.obs.report import RunReport
 
 
 @dataclass
@@ -57,6 +58,10 @@ class RepairResult:
     size_report: dict[str, int | str] = field(default_factory=dict)
     training_losses: list[float] = field(default_factory=list)
     config: HoloCleanConfig | None = None
+    #: Telemetry: trace tree + metrics + config fingerprint + dataset
+    #: shape, attached by :class:`~repro.core.stages.ApplyStage`;
+    #: serialize via ``report.to_json()`` (``repro --report out.json``).
+    report: RunReport | None = None
 
     @property
     def repairs(self) -> dict[Cell, CellInference]:

@@ -31,6 +31,7 @@ from repro.core.stages import RepairContext, RepairPlan
 from repro.dataset.dataset import Cell, Dataset
 from repro.detect.base import ErrorDetector
 from repro.external.dictionary import ExternalDictionary
+from repro.obs.report import RunReport
 
 
 class RepairSession:
@@ -95,6 +96,17 @@ class RepairSession:
     def model(self) -> CompiledModel | None:
         """The compiled model of the last run (``None`` before it)."""
         return self._ctx.model if self._ctx is not None else None
+
+    @property
+    def last_report(self) -> RunReport | None:
+        """Telemetry of the most recent run/rerun (``None`` before one).
+
+        Reruns share the context's tracer, so the report's trace tree
+        accumulates spans across the feedback loop's iterations.
+        """
+        if self._last_result is None:
+            return None
+        return self._last_result.report
 
     # ------------------------------------------------------------------
     # Review & feedback

@@ -38,11 +38,22 @@ Each stage records its wall-clock under its name in
 those into the three phases the paper reports (detection /
 compilation / learning+inference), which is what lands in
 ``RepairResult.timings``.
+
+Telemetry (:mod:`repro.obs`) is threaded through the same objects: the
+context carries a :class:`~repro.obs.trace.Tracer` (built lazily from
+``HoloCleanConfig.trace_level`` / ``trace_memory``) and a
+:class:`~repro.obs.metrics.MetricsRegistry`; :meth:`Stage.run` opens
+one span per stage, each stage records its headline numbers in the
+registry, and :class:`ApplyStage` packages everything into the
+:class:`~repro.obs.report.RunReport` attached to the result.  Tracing
+is observational only — a traced run is byte-identical to an untraced
+one.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +70,7 @@ from repro.engine import Engine
 from repro.external.dictionary import ExternalDictionary
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.softmax import SoftmaxTrainer, TrainingResult
+from repro.obs import MetricsRegistry, Tracer, build_run_report
 
 #: Stage names of the default plan, in pipeline order.
 STAGE_ORDER = ("detect", "compile", "learn", "infer", "apply")
@@ -94,8 +106,22 @@ class RepairContext:
     marginals: dict[int, np.ndarray] | None = None
     result: RepairResult | None = None
     #: Per-stage wall-clock, keyed by stage name; a stage overwrites its
-    #: entry every time it runs.
+    #: entry every time it runs.  Skipped stages leave no entry (their
+    #: status lands in :attr:`stage_status` instead).
     timings: dict[str, float] = field(default_factory=dict)
+
+    # --- telemetry ---------------------------------------------------------
+    #: Trace spans of this repair; built lazily from the config's
+    #: ``trace_level`` / ``trace_memory`` knobs (``None`` when tracing is
+    #: off).  Shared across plan runs on the same context, so re-entries
+    #: append their spans to the same trace.
+    tracer: Tracer | None = None
+    #: Named counters/gauges/labels/series recorded by the stages.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Stage name → ``"ran"`` or ``"skipped"`` for the most recent plan
+    #: run — a skipped stage (artifact already on the context) is
+    #: explicitly distinguishable from one that ran instantly.
+    stage_status: dict[str, str] = field(default_factory=dict)
 
     # --- user feedback (Section 2.2) --------------------------------------
     #: Cell → user-verified value.  In-domain values become labeled
@@ -114,6 +140,25 @@ class RepairContext:
         if self.engine is None and self.config.use_engine:
             self.engine = Engine(self.dataset, backend=self.config.engine_backend)
         return self.engine
+
+    def ensure_tracer(self) -> Tracer | None:
+        """The repair's tracer (or ``None`` when ``trace_level="off"``).
+
+        Built lazily on first demand from the config's knobs and cached
+        on the context, like the engine.
+        """
+        if self.tracer is None and self.config.trace_level != "off":
+            self.tracer = Tracer(
+                level=self.config.trace_level, memory=self.config.trace_memory
+            )
+        return self.tracer
+
+    def span(self, name: str, **attributes):
+        """A stage-level span context manager (no-op when tracing is off)."""
+        tracer = self.ensure_tracer()
+        if tracer is None:
+            return nullcontext(None)
+        return tracer.span(name, **attributes)
 
     def phase_timings(self) -> dict[str, float]:
         """Stage timings folded into the paper's three reported phases."""
@@ -168,20 +213,23 @@ class Stage:
     """One pipeline stage: a callable ``run(ctx) -> ctx`` with timing.
 
     Subclasses implement :meth:`execute`; :meth:`run` wraps it with a
-    wall-clock measurement recorded under :attr:`name` in
-    ``ctx.timings``.  A stage whose :meth:`should_run` returns False is
-    skipped entirely, leaving any previously recorded timing intact
-    (a missing entry is backfilled with 0.0 so the key set is stable).
+    trace span and a wall-clock measurement recorded under :attr:`name`
+    in ``ctx.timings``.  A stage whose :meth:`should_run` returns False
+    is skipped entirely: any previously recorded timing stays intact,
+    no timing is fabricated, and ``ctx.stage_status`` records
+    ``"skipped"`` so a skip is distinguishable from an instant run.
     """
 
     name: str = "stage"
 
     def run(self, ctx: RepairContext) -> RepairContext:
         if not self.should_run(ctx):
-            ctx.timings.setdefault(self.name, 0.0)
+            ctx.stage_status[self.name] = "skipped"
             return ctx
+        ctx.stage_status[self.name] = "ran"
         started = time.perf_counter()
-        ctx = self.execute(ctx)
+        with ctx.span(self.name):
+            ctx = self.execute(ctx)
         ctx.timings[self.name] = time.perf_counter() - started
         return ctx
 
@@ -217,6 +265,8 @@ class DetectStage(Stage):
         for detector in ctx.extra_detectors:
             detection.merge(detector.detect(ctx.dataset))
         ctx.detection = detection
+        ctx.metrics.gauge("detect.noisy_cells", len(detection.noisy_cells))
+        ctx.metrics.gauge("detect.violations", len(detection.hypergraph))
         return ctx
 
 
@@ -246,6 +296,17 @@ class CompileStage(Stage):
             engine=ctx.ensure_engine(),
         )
         ctx.model = compiler.compile()
+        report = ctx.model.size_report()
+        ctx.metrics.ingest(report, prefix="compile.")
+        ctx.metrics.gauge(
+            "compile.pairs_enumerated", int(report.get("grounding_pairs", 0))
+        )
+        ctx.metrics.gauge(
+            "compile.factors_emitted", int(report.get("constraint_factors", 0))
+        )
+        ctx.metrics.gauge(
+            "compile.feature_entries", int(report.get("feature_entries", 0))
+        )
         return ctx
 
 
@@ -266,6 +327,10 @@ class LearnStage(Stage):
         )
         ctx.weights = outcome.weights
         ctx.losses = outcome.losses
+        ctx.metrics.extend("learn.epoch_loss", outcome.losses)
+        ctx.metrics.gauge("learn.epochs", len(outcome.losses))
+        if outcome.losses:
+            ctx.metrics.gauge("learn.final_loss", outcome.losses[-1])
         return ctx
 
     @staticmethod
@@ -327,9 +392,16 @@ class InferStage(Stage):
                 sweeps=config.gibbs_sweeps,
             )
             ctx.marginals = outcome.marginals
+            ctx.metrics.label("infer.method", "gibbs")
+            ctx.metrics.gauge("infer.gibbs_sweeps", outcome.sweeps)
+            ctx.metrics.gauge("infer.gibbs_samples", outcome.samples)
+            ctx.metrics.gauge("infer.gibbs_moves", outcome.moves)
+            ctx.metrics.gauge("infer.gibbs_move_rate", outcome.move_rate)
         else:
             trainer = SoftmaxTrainer(model.graph.matrix)
             ctx.marginals = trainer.marginals(ctx.weights, model.query_ids)
+            ctx.metrics.label("infer.method", "softmax")
+        ctx.metrics.gauge("infer.query_variables", len(model.query_ids))
         return ctx
 
 
@@ -346,9 +418,11 @@ class ApplyStage(Stage):
 
     def run(self, ctx: RepairContext) -> RepairContext:
         ctx = super().run(ctx)
-        # Re-fold timings now that this stage's own cost is recorded.
+        # Re-fold timings now that this stage's own cost is recorded,
+        # then snapshot the full telemetry bundle onto the result.
         if ctx.result is not None:
             ctx.result.timings = ctx.phase_timings()
+            ctx.result.report = build_run_report(ctx)
         return ctx
 
     def execute(self, ctx: RepairContext) -> RepairContext:
@@ -401,6 +475,8 @@ class ApplyStage(Stage):
             training_losses=list(ctx.losses),
             config=ctx.config,
         )
+        ctx.metrics.gauge("apply.noisy_cells", len(inferences))
+        ctx.metrics.gauge("apply.repairs", ctx.result.num_repairs)
         return ctx
 
 

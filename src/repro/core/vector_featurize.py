@@ -55,6 +55,7 @@ from repro.core.featurize import (
 from repro.dataset.dataset import Cell
 from repro.engine import ops
 from repro.inference.features import FeatureMatrixBuilder
+from repro.obs.trace import deep_span
 
 _ORDER_OPS = (Operator.LT, Operator.GT, Operator.LTE, Operator.GTE)
 
@@ -145,14 +146,20 @@ class VectorFeaturizer:
         batches: list[_Entries] = []
         vectorized = naive = 0
         for rank, featurizer in enumerate(stack):
-            family = self._family(featurizer, rank)
-            if family is None:
-                batches.append(self._naive_entries(rank, featurizer))
-                naive += 1
-            else:
+            with deep_span("featurize.family",
+                           family=type(featurizer).__name__) as sp:
+                family = self._family(featurizer, rank)
+                if family is None:
+                    family = [self._naive_entries(rank, featurizer)]
+                    naive += 1
+                else:
+                    vectorized += 1
                 batches.extend(family)
-                vectorized += 1
-        emitted = self._emit(batches, builder)
+                if sp is not None:
+                    sp.attributes["entries"] = int(
+                        sum(len(b.var) for b in family))
+        with deep_span("featurize.emit", batches=len(batches)):
+            emitted = self._emit(batches, builder)
         self.stats.update({
             "feature_path": "vector",
             "feature_rows": int(sum(len(d) for _, d in self._specs)),

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.engine import ops
 from repro.engine.store import ColumnStore
+from repro.obs.trace import deep_span
 
 #: A join specification: one ``(t1 attribute, t2 attribute)`` pair per
 #: equality predicate.
@@ -114,11 +115,17 @@ class _BaseBackend:
         return cached
 
     def join_pairs(self, join_attrs: JoinAttrs) -> tuple[np.ndarray, np.ndarray]:
-        key1, key2, symmetric = self._keys_for(join_attrs)
-        if symmetric:
-            return self._symmetric_pairs(key1)
-        left, right = self._asymmetric_pairs(key1, key2)
-        return ops.dedup_ordered_pairs(left, right, key1)
+        with deep_span("engine.join_pairs", backend=self.name,
+                       join=str(join_attrs)) as sp:
+            key1, key2, symmetric = self._keys_for(join_attrs)
+            if symmetric:
+                left, right = self._symmetric_pairs(key1)
+            else:
+                left, right = self._asymmetric_pairs(key1, key2)
+                left, right = ops.dedup_ordered_pairs(left, right, key1)
+            if sp is not None:
+                sp.attributes["pairs"] = int(len(left))
+            return left, right
 
     def estimated_join_pairs(self, join_attrs: JoinAttrs) -> int:
         """Pairs the join would materialise, from key histograms only.
@@ -138,7 +145,12 @@ class _BaseBackend:
         if not len(bucket_ids):
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        return self._domain_pairs(bucket_ids, member_tids)
+        with deep_span("engine.domain_join_pairs", backend=self.name,
+                       buckets=int(bucket_ids[-1]) + 1) as sp:
+            left, right = self._domain_pairs(bucket_ids, member_tids)
+            if sp is not None:
+                sp.attributes["pairs"] = int(len(left))
+            return left, right
 
     # -- executors (subclass responsibility) ----------------------------
     def _symmetric_pairs(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

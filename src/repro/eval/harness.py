@@ -21,6 +21,7 @@ from repro.core.repair import RepairResult
 from repro.core.stages import RepairPlan
 from repro.data.base import GeneratedDataset
 from repro.eval.metrics import RepairQuality, evaluate_repairs
+from repro.obs.report import RunReport
 
 
 @dataclass
@@ -33,6 +34,9 @@ class MethodRun:
     runtime: float
     timed_out: bool = False
     timings: dict[str, float] = field(default_factory=dict)
+    #: Telemetry of the run (HoloClean rows only; baselines leave it
+    #: ``None``) — trace tree, metrics, config fingerprint.
+    report: RunReport | None = None
 
     def table3_cells(self) -> list:
         if self.timed_out or self.quality is None:
@@ -81,7 +85,7 @@ def run_holoclean(generated: GeneratedDataset,
                                error_cells=generated.error_cells)
     run = MethodRun(method="HoloClean", dataset=generated.name,
                     quality=quality, runtime=result.total_runtime,
-                    timings=dict(result.timings))
+                    timings=dict(result.timings), report=result.report)
     return run, result
 
 

@@ -15,14 +15,29 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.inference.factor_graph import FactorGraph
+from repro.obs.trace import deep_span
 
 
 @dataclass
 class GibbsResult:
-    """Estimated marginals and the resulting MAP assignment."""
+    """Estimated marginals and the resulting MAP assignment.
+
+    ``moves`` / ``samples`` summarise chain mobility: of the
+    ``samples`` single-site draws taken (burn-in included), ``moves``
+    landed on a value different from the variable's previous state.
+    Their ratio is the acceptance-style diagnostic the run report
+    publishes as ``infer.gibbs_move_rate``.
+    """
 
     marginals: dict[int, np.ndarray]
     sweeps: int
+    moves: int = 0
+    samples: int = 0
+
+    @property
+    def move_rate(self) -> float:
+        """Fraction of draws that changed the variable's value."""
+        return self.moves / self.samples if self.samples else 0.0
 
     def map_index(self, vid: int) -> int:
         return int(np.argmax(self.marginals[vid]))
@@ -83,11 +98,22 @@ class GibbsSampler:
                   for v in query}
         order = np.asarray(query, dtype=np.int64)
         total = burn_in + sweeps
+        moves = samples = 0
         for sweep in range(total):
-            self.rng.shuffle(order)
-            for vid in order:
-                p = self.conditional(int(vid), state)
-                state[vid] = self.rng.choice(len(p), p=p)
+            with deep_span("infer.gibbs_sweep", sweep=sweep,
+                           burn_in=sweep < burn_in) as sp:
+                self.rng.shuffle(order)
+                sweep_moves = 0
+                for vid in order:
+                    p = self.conditional(int(vid), state)
+                    new = self.rng.choice(len(p), p=p)
+                    if new != state[vid]:
+                        sweep_moves += 1
+                    state[vid] = new
+                moves += sweep_moves
+                samples += len(order)
+                if sp is not None:
+                    sp.attributes["moves"] = sweep_moves
             if sweep >= burn_in:
                 for vid in query:
                     counts[vid][state[vid]] += 1
@@ -97,4 +123,5 @@ class GibbsSampler:
         # final state so callers always receive a distribution.
         if sweeps == 0:
             marginals = {v: self.conditional(v, state) for v in query}
-        return GibbsResult(marginals=marginals, sweeps=sweeps)
+        return GibbsResult(marginals=marginals, sweeps=sweeps,
+                           moves=moves, samples=samples)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.engine.ops import expand_ranges
 from repro.inference.features import FeatureMatrix
 from repro.inference.numerics import segment_softmax
+from repro.obs.trace import deep_span
 
 
 @dataclass
@@ -157,31 +158,34 @@ class SoftmaxTrainer:
         tail_sum = np.zeros_like(weights)
         tail_count = 0
         for epoch in range(1, self.epochs + 1):
-            comp_scores = np.bincount(
-                tr_entry_comp, weights=weights[tr_indices] * tr_values,
-                minlength=len(train_rows))
-            probs = segment_softmax(comp_scores, comp_starts)
-            loss = (-np.log(probs[label_positions] + 1e-300).sum() / n
-                    + 0.5 * self.l2 * float(weights @ weights))
-            losses.append(float(loss))
+            with deep_span("learn.epoch", epoch=epoch) as sp:
+                comp_scores = np.bincount(
+                    tr_entry_comp, weights=weights[tr_indices] * tr_values,
+                    minlength=len(train_rows))
+                probs = segment_softmax(comp_scores, comp_starts)
+                loss = (-np.log(probs[label_positions] + 1e-300).sum() / n
+                        + 0.5 * self.l2 * float(weights @ weights))
+                losses.append(float(loss))
+                if sp is not None:
+                    sp.attributes["loss"] = float(loss)
 
-            residual = probs - y
-            grad = np.bincount(
-                tr_indices, weights=tr_values * residual[tr_entry_comp],
-                minlength=m.num_features) / n
-            grad += self.l2 * weights
-            grad *= trainable  # pinned weights stay at their constant
+                residual = probs - y
+                grad = np.bincount(
+                    tr_indices, weights=tr_values * residual[tr_entry_comp],
+                    minlength=m.num_features) / n
+                grad += self.l2 * weights
+                grad *= trainable  # pinned weights stay at their constant
 
-            m1 = beta1 * m1 + (1 - beta1) * grad
-            m2 = beta2 * m2 + (1 - beta2) * grad * grad
-            m1_hat = m1 / (1 - beta1 ** epoch)
-            m2_hat = m2 / (1 - beta2 ** epoch)
-            lr = self.learning_rate / (1.0 + self.lr_decay * epoch)
-            weights -= lr * m1_hat / (np.sqrt(m2_hat) + eps)
+                m1 = beta1 * m1 + (1 - beta1) * grad
+                m2 = beta2 * m2 + (1 - beta2) * grad * grad
+                m1_hat = m1 / (1 - beta1 ** epoch)
+                m2_hat = m2 / (1 - beta2 ** epoch)
+                lr = self.learning_rate / (1.0 + self.lr_decay * epoch)
+                weights -= lr * m1_hat / (np.sqrt(m2_hat) + eps)
 
-            if epoch >= tail_start:
-                tail_sum += weights
-                tail_count += 1
+                if epoch >= tail_start:
+                    tail_sum += weights
+                    tail_count += 1
 
             # Early stopping with patience: Adam's warmup can raise the
             # loss for a few epochs, so compare against the best seen and

@@ -1,0 +1,124 @@
+"""A registry of named counters, gauges, labels, and series.
+
+One :class:`MetricsRegistry` rides on each
+:class:`~repro.core.stages.RepairContext` and absorbs every number the
+pipeline used to scatter across ad-hoc dicts: the ``grounding_*`` /
+graph size-report counters (ingested verbatim via :meth:`ingest`, so
+``RepairResult.size_report`` keys stay byte-identical — the existing
+equivalence tests are the oracle) plus the new per-stage telemetry
+(pairs enumerated, factors emitted, feature entries, Gibbs move rate,
+trainer loss per epoch).  The registry is what lands in the
+:class:`~repro.obs.report.RunReport`.
+
+Four kinds:
+
+* **counter** — monotone accumulator (:meth:`inc`);
+* **gauge** — last-write-wins numeric (:meth:`gauge`);
+* **label** — last-write-wins string (:meth:`label`), for categorical
+  facts like the featurization path;
+* **series** — an ordered list of observations (:meth:`observe` /
+  :meth:`extend`), e.g. the per-epoch training loss; summarised by
+  :meth:`summaries`.
+"""
+
+from __future__ import annotations
+
+#: Observations kept per series; beyond it, early entries are dropped
+#: (the summary still reflects only the retained window — repair-scale
+#: series such as epoch losses never approach the cap).
+SERIES_CAP = 4096
+
+
+class MetricsRegistry:
+    """Named counters/gauges/labels/series for one repair run."""
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.labels: dict[str, str] = {}
+        self.series: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to a counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to the given value."""
+        self.gauges[name] = value
+
+    def label(self, name: str, value: str) -> None:
+        """Set a categorical label."""
+        self.labels[name] = str(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to a series."""
+        bucket = self.series.setdefault(name, [])
+        bucket.append(float(value))
+        if len(bucket) > SERIES_CAP:
+            del bucket[: len(bucket) - SERIES_CAP]
+
+    def extend(self, name: str, values) -> None:
+        """Append many observations to a series."""
+        for value in values:
+            self.observe(name, value)
+
+    # ------------------------------------------------------------------
+    def ingest(self, mapping: dict, prefix: str = "") -> None:
+        """Absorb an ad-hoc stats dict: numbers → gauges, strings → labels.
+
+        This is how the compiler's ``size_report`` counters (the
+        ``grounding_*`` keys among them) enter the registry without
+        renaming — the report dict itself is still produced exactly as
+        before, the registry is just the one API consumers read.
+        """
+        for key, value in mapping.items():
+            name = f"{prefix}{key}"
+            if isinstance(value, bool):
+                self.gauge(name, int(value))
+            elif isinstance(value, (int, float)):
+                self.gauge(name, value)
+            else:
+                self.label(name, str(value))
+
+    # ------------------------------------------------------------------
+    def summaries(self) -> dict[str, dict[str, float]]:
+        """Per-series ``{count, min, max, mean, first, last}``."""
+        out: dict[str, dict[str, float]] = {}
+        for name, values in self.series.items():
+            if not values:
+                continue
+            out[name] = {
+                "count": len(values),
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+                "first": values[0],
+                "last": values[-1],
+            }
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (series kept in full, plus summaries)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "labels": dict(self.labels),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "series_summary": self.summaries(),
+        }
+
+    def __len__(self) -> int:
+        return (
+            len(self.counters)
+            + len(self.gauges)
+            + len(self.labels)
+            + len(self.series)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, labels={len(self.labels)}, "
+            f"series={len(self.series)})"
+        )

@@ -1,0 +1,249 @@
+"""Trace spans: a lightweight hierarchical profiler for one repair.
+
+HoloClean's evaluation (Tables 2-4 of the paper) reports *per-phase*
+runtimes and grounded-model sizes; this module is how the reproduction
+emits that evidence from every run instead of only from hand-written
+benchmarks.  A :class:`Tracer` records a forest of :class:`Span`\\ s —
+name, wall-clock duration, peak memory, parent id, and free-form
+attributes — opened via the ``with tracer.span("name"):`` context
+manager.  :meth:`repro.core.stages.Stage.run` opens one span per
+pipeline stage; hot paths (engine joins, pair-chunk streaming, factor
+tables, featurizer families, Gibbs sweeps, trainer epochs) open *deep*
+child spans through :func:`deep_span`, so a single repair yields a
+hierarchical trace.
+
+Overhead is gated by level: ``"stage"`` (the default) records only the
+five coarse stage spans; ``"deep"`` additionally records the engine and
+inference child spans; ``"off"`` records nothing.  :func:`deep_span` is
+a near-free no-op unless a deep-level tracer is currently active, so
+the instrumented hot loops pay one module-global read when tracing is
+coarse or disabled.  Tracing never touches the data or any RNG stream:
+a traced repair is byte-identical to an untraced one (pinned in
+``tests/core/test_stages.py``).
+
+Memory accounting: every span records the process RSS high-water mark
+(``ru_maxrss``) at close; when :mod:`tracemalloc` is tracing (the
+tracer starts it when constructed with ``memory=True``), spans also
+record the Python-heap peak *during* the span, with child peaks folded
+into their parents.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+try:  # pragma: no cover - unavailable on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+#: Trace levels, in increasing verbosity.  A span is recorded when its
+#: own level does not exceed the tracer's.
+TRACE_LEVELS = {"off": 0, "stage": 1, "deep": 2}
+
+
+@dataclass
+class Span:
+    """One timed region of a repair.
+
+    ``start`` is seconds since the owning tracer's epoch (its
+    construction time), so sibling spans order and gap-analyse without
+    wall-clock arithmetic.  ``py_mem_peak`` is the tracemalloc peak (in
+    bytes) observed while the span was open, ``None`` when tracemalloc
+    was not tracing; ``rss_peak_kb`` is the process ``ru_maxrss`` at
+    span close (a monotone high-water mark, informational).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    py_mem_peak: int | None = None
+    rss_peak_kb: int | None = None
+
+    # ------------------------------------------------------------------
+    def walk(self):
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.py_mem_peak is not None:
+            payload["py_mem_peak"] = self.py_mem_peak
+        if self.rss_peak_kb is not None:
+            payload["rss_peak_kb"] = self.rss_peak_kb
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start=payload.get("start", 0.0),
+            duration=payload.get("duration", 0.0),
+            attributes=dict(payload.get("attributes", {})),
+            children=[cls.from_dict(c) for c in payload.get("children", ())],
+            py_mem_peak=payload.get("py_mem_peak"),
+            rss_peak_kb=payload.get("rss_peak_kb"),
+        )
+
+
+#: The tracer whose span stack is currently open (set while any of its
+#: spans is active).  :func:`deep_span` consults this so hot paths need
+#: no plumbed-through handle.
+_ACTIVE: "Tracer | None" = None
+
+
+def active_tracer() -> "Tracer | None":
+    """The tracer with an open span on this thread, if any."""
+    return _ACTIVE
+
+
+def deep_enabled() -> bool:
+    """True when deep-level spans would actually be recorded."""
+    return _ACTIVE is not None and _ACTIVE.level >= TRACE_LEVELS["deep"]
+
+
+def deep_span(name: str, **attributes):
+    """A child span on the active tracer, or a no-op context manager.
+
+    The instrumentation hook for engine/inference hot paths: records a
+    span only when a tracer with ``level="deep"`` currently has a span
+    open (i.e. the code runs inside a traced stage); otherwise yields
+    ``None`` at the cost of one global read.
+    """
+    tracer = _ACTIVE
+    if tracer is None or tracer.level < TRACE_LEVELS["deep"]:
+        return nullcontext(None)
+    return tracer.span(name, level="deep", **attributes)
+
+
+class Tracer:
+    """Records a forest of spans for one repair.
+
+    Parameters
+    ----------
+    level:
+        ``"off"``, ``"stage"`` (coarse, the default), or ``"deep"``.
+    memory:
+        Start :mod:`tracemalloc` (if not already tracing) so spans carry
+        Python-heap peaks.  Call :meth:`shutdown` to stop it again; the
+        tracer stops tracemalloc only if it was the one to start it.
+    """
+
+    def __init__(self, level: str = "stage", memory: bool = False):
+        if level not in TRACE_LEVELS:
+            choices = tuple(TRACE_LEVELS)
+            raise ValueError(f"unknown trace level {level!r}; pick one of {choices}")
+        self.level_name = level
+        self.level = TRACE_LEVELS[level]
+        self.roots: list[Span] = []
+        self.span_count = 0
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        #: Open-span stack; each frame is ``[span, child_peak_acc]``.
+        self._stack: list[list] = []
+        self._owns_tracemalloc = False
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    def shutdown(self) -> None:
+        """Stop tracemalloc if this tracer started it (idempotent)."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, level: str = "stage", **attributes):
+        """Open one span; yields the :class:`Span` (or ``None`` if the
+        span's level exceeds the tracer's and nothing is recorded)."""
+        if TRACE_LEVELS.get(level, TRACE_LEVELS["deep"]) > self.level:
+            yield None
+            return
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            start=time.perf_counter() - self._epoch,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.span_count += 1
+        if self._stack:
+            parent = self._stack[-1][0]
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+        tracing_memory = tracemalloc.is_tracing()
+        if tracing_memory:
+            peak_so_far = tracemalloc.get_traced_memory()[1]
+            if self._stack:
+                # Fold the peak observed since the parent's last reset
+                # into the parent before resetting for this child.
+                self._stack[-1][1] = max(self._stack[-1][1], peak_so_far)
+            tracemalloc.reset_peak()
+
+        global _ACTIVE
+        previous = _ACTIVE
+        if not self._stack:
+            _ACTIVE = self
+        frame = [span, 0]
+        self._stack.append(frame)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - started
+            self._stack.pop()
+            if tracing_memory and tracemalloc.is_tracing():
+                peak = max(frame[1], tracemalloc.get_traced_memory()[1])
+                span.py_mem_peak = int(peak)
+                if self._stack:
+                    self._stack[-1][1] = max(self._stack[-1][1], peak)
+                tracemalloc.reset_peak()
+            if resource is not None:
+                span.rss_peak_kb = int(
+                    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                )
+            if not self._stack:
+                _ACTIVE = previous
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1][0].attributes.update(attributes)
+
+    # ------------------------------------------------------------------
+    def walk(self):
+        """Every recorded span, depth-first across the root forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level_name,
+            "span_count": self.span_count,
+            "spans": [root.to_dict() for root in self.roots],
+        }

@@ -282,6 +282,155 @@ class TestReentry:
         assert ctx.model is not None and ctx.model is not model
 
 
+class TestPhaseTimings:
+    def test_missing_keys_fold_to_zero(self, figure1_dataset,
+                                       figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints)
+        assert ctx.phase_timings() == {"detect": 0.0, "compile": 0.0,
+                                       "repair": 0.0}
+
+    def test_partial_run_leaves_later_phases_zero(self, figure1_dataset,
+                                                  figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        ctx = DetectStage()(ctx)
+        phases = ctx.phase_timings()
+        assert phases["detect"] == ctx.timings["detect"]
+        assert phases["compile"] == 0.0
+        assert phases["repair"] == 0.0
+
+    def test_starting_at_reentry_keeps_producer_timings(self, hospital):
+        config = config_for(hospital)
+        ctx = RepairPlan.default().run(
+            RepairContext(dataset=hospital.dirty,
+                          constraints=hospital.constraints, config=config))
+        detect_time = ctx.timings["detect"]
+        compile_time = ctx.timings["compile"]
+        ctx = RepairPlan.default().starting_at("learn").run(ctx)
+        phases = ctx.phase_timings()
+        # The re-entry reruns only the repair phase; the producers'
+        # timings survive and keep folding into their phases.
+        assert phases["detect"] == detect_time
+        assert phases["compile"] == compile_time
+        repair = sum(ctx.timings[n] for n in ("learn", "infer", "apply"))
+        assert phases["repair"] == pytest.approx(repair)
+        assert ctx.result.timings == phases
+
+    def test_result_timings_folded_after_apply(self, figure1_dataset,
+                                               figure1_constraints):
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=HoloCleanConfig(tau=0.3, epochs=5, seed=1))
+        ctx = RepairPlan.default().run(ctx)
+        # The result's timings are the context's folded phases, apply's
+        # own wall-clock included (i.e. folded after ApplyStage ran).
+        assert ctx.result.timings == ctx.phase_timings()
+        assert ctx.result.timings["repair"] >= ctx.timings["apply"]
+
+
+class TestTelemetry:
+    """Stage status, run reports, and the tracing byte-identity pledge."""
+
+    def run_plan(self, generated, **overrides):
+        ctx = RepairContext(dataset=generated.dirty,
+                            constraints=generated.constraints,
+                            config=config_for(generated, **overrides))
+        return RepairPlan.default().run(ctx)
+
+    def test_stage_status_ran_then_skipped(self, hospital):
+        ctx = self.run_plan(hospital)
+        assert ctx.stage_status == {name: "ran" for name in STAGE_ORDER}
+        ctx = RepairPlan.default().run(ctx)
+        assert ctx.stage_status["detect"] == "skipped"
+        assert ctx.stage_status["compile"] == "skipped"
+        later = [ctx.stage_status[n] for n in ("learn", "infer", "apply")]
+        assert later == ["ran", "ran", "ran"]
+
+    def test_skipped_stage_fabricates_no_timing(self, figure1_dataset,
+                                                figure1_constraints):
+        config = HoloCleanConfig(tau=0.3, epochs=5, seed=1)
+        detection = ViolationDetector(figure1_constraints).detect(figure1_dataset)
+        ctx = RepairContext(dataset=figure1_dataset,
+                            constraints=figure1_constraints,
+                            config=config, detection=detection)
+        ctx = RepairPlan.default().run(ctx)
+        # Skipped stages leave no timing entry at all (no fake 0.0) and
+        # are recorded explicitly in stage_status and the run report.
+        assert "detect" not in ctx.timings
+        assert ctx.stage_status["detect"] == "skipped"
+        assert ctx.result.report.stage_status["detect"] == "skipped"
+        assert (ctx.result.report.stage_names_traced()
+                == ["compile", "learn", "infer", "apply"])
+
+    def test_run_report_attached_and_covers_stages(self, hospital):
+        ctx = self.run_plan(hospital)
+        report = ctx.result.report
+        assert report is not None
+        assert report.stage_names_traced() == list(STAGE_ORDER)
+        assert report.fingerprint
+        assert report.dataset["rows"] == hospital.dirty.num_tuples
+        assert report.phase_timings == ctx.phase_timings()
+        gauges = report.metrics["gauges"]
+        assert gauges["detect.noisy_cells"] == len(ctx.detection.noisy_cells)
+        assert gauges["apply.repairs"] == ctx.result.num_repairs
+        # The compile stage ingests the size report verbatim.
+        for key, value in ctx.result.size_report.items():
+            if isinstance(value, (int, float)):
+                assert gauges[f"compile.{key}"] == value
+        assert (report.metrics["series"]["learn.epoch_loss"]
+                == ctx.result.training_losses)
+        # Round-trips through JSON.
+        clone = type(report).from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_trace_off_records_no_spans_but_still_reports(self, hospital):
+        ctx = self.run_plan(hospital, trace_level="off")
+        assert ctx.tracer is None
+        report = ctx.result.report
+        assert report.trace is None
+        assert report.stage_status == {name: "ran" for name in STAGE_ORDER}
+        assert (report.metrics["gauges"]["apply.repairs"]
+                == ctx.result.num_repairs)
+
+    def test_tracing_is_byte_identical_to_off(self, hospital):
+        baseline = self.run_plan(hospital, trace_level="off")
+        coarse = self.run_plan(hospital, trace_level="stage")
+        deep = self.run_plan(hospital, trace_level="deep")
+        # Coarse (the default) and deep tracing leave the repair result
+        # and every size-report key byte-identical to tracing disabled.
+        assert_results_equal(coarse.result, baseline.result)
+        assert_results_equal(deep.result, baseline.result)
+        assert (list(coarse.result.size_report)
+                == list(baseline.result.size_report))
+        assert (list(deep.result.size_report)
+                == list(baseline.result.size_report))
+        # Deep mode's only difference: child spans under the stage spans.
+        stage_spans = coarse.result.report.trace_spans()
+        assert all(not s.children for s in stage_spans)
+        deep_spans = deep.result.report.trace_spans()
+        assert any(s.children for s in deep_spans)
+
+    def test_deep_tracing_gibbs_variant_identical(self, figure1_dataset,
+                                                  figure1_constraints):
+        def run(level):
+            config = HoloCleanConfig.variant(
+                "dc-factors", tau=0.3, epochs=10, seed=1,
+                gibbs_burn_in=2, gibbs_sweeps=5, trace_level=level)
+            ctx = RepairContext(dataset=figure1_dataset,
+                                constraints=figure1_constraints, config=config)
+            return RepairPlan.default().run(ctx)
+
+        baseline = run("off")
+        deep = run("deep")
+        assert_results_equal(deep.result, baseline.result)
+        names = {s.name for root in deep.result.report.trace_spans()
+                 for s in root.walk()}
+        assert "infer.gibbs_sweep" in names
+        assert deep.result.report.metrics["labels"]["infer.method"] == "gibbs"
+
+
 class TestStagePreconditions:
     def test_compile_requires_detection(self, figure1_dataset,
                                         figure1_constraints):

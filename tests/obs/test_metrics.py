@@ -1,0 +1,100 @@
+"""Unit tests for `repro.obs.metrics.MetricsRegistry`."""
+
+from repro.obs.metrics import SERIES_CAP, MetricsRegistry
+
+
+class TestKinds:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("pairs")
+        reg.inc("pairs", 4)
+        assert reg.counters["pairs"] == 5
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("variables", 10)
+        reg.gauge("variables", 12)
+        assert reg.gauges["variables"] == 12
+
+    def test_labels_coerce_to_str(self):
+        reg = MetricsRegistry()
+        reg.label("method", "gibbs")
+        reg.label("backend", 42)
+        assert reg.labels == {"method": "gibbs", "backend": "42"}
+
+    def test_series_observe_and_extend(self):
+        reg = MetricsRegistry()
+        reg.observe("loss", 2.0)
+        reg.extend("loss", [1.5, 1.0])
+        assert reg.series["loss"] == [2.0, 1.5, 1.0]
+
+    def test_series_capped(self):
+        reg = MetricsRegistry()
+        reg.extend("big", range(SERIES_CAP + 10))
+        assert len(reg.series["big"]) == SERIES_CAP
+        assert reg.series["big"][0] == 10.0
+        assert reg.series["big"][-1] == SERIES_CAP + 9
+
+    def test_len_counts_all_kinds(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.inc("a")
+        reg.gauge("b", 1)
+        reg.label("c", "x")
+        reg.observe("d", 0.5)
+        assert len(reg) == 4
+        assert "counters=1" in repr(reg)
+
+
+class TestIngest:
+    def test_numbers_become_gauges_strings_become_labels(self):
+        reg = MetricsRegistry()
+        reg.ingest(
+            {
+                "variables": 20,
+                "ratio": 0.5,
+                "streamed": True,
+                "enumerator": "VectorPairEnumerator",
+            }
+        )
+        assert reg.gauges["variables"] == 20
+        assert reg.gauges["ratio"] == 0.5
+        assert reg.gauges["streamed"] == 1
+        assert reg.labels["enumerator"] == "VectorPairEnumerator"
+
+    def test_prefix_applied_to_every_key(self):
+        reg = MetricsRegistry()
+        reg.ingest({"grounding_pairs": 7, "feature_path": "vector"}, prefix="compile.")
+        assert reg.gauges["compile.grounding_pairs"] == 7
+        assert reg.labels["compile.feature_path"] == "vector"
+
+
+class TestSummaries:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        reg.extend("loss", [4.0, 2.0, 3.0])
+        summary = reg.summaries()["loss"]
+        assert summary == {
+            "count": 3,
+            "min": 2.0,
+            "max": 4.0,
+            "mean": 3.0,
+            "first": 4.0,
+            "last": 3.0,
+        }
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.gauge("g", 1.5)
+        reg.label("l", "x")
+        reg.observe("s", 0.25)
+        payload = reg.as_dict()
+        assert payload["counters"] == {"n": 1}
+        assert payload["gauges"] == {"g": 1.5}
+        assert payload["labels"] == {"l": "x"}
+        assert payload["series"] == {"s": [0.25]}
+        assert payload["series_summary"]["s"]["count"] == 1
+        # The snapshot is a copy, not a view.
+        payload["gauges"]["g"] = 99
+        assert reg.gauges["g"] == 1.5

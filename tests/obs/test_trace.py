@@ -1,0 +1,210 @@
+"""Unit tests for the trace-span subsystem (`repro.obs.trace`).
+
+Pins the behaviours the pipeline instrumentation relies on: level
+gating (off / stage / deep), parent-child nesting, the module-global
+active tracer consulted by `deep_span`, serialization round-trips, and
+tracemalloc ownership.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_LEVELS,
+    Span,
+    Tracer,
+    active_tracer,
+    deep_enabled,
+    deep_span,
+)
+
+
+class TestLevels:
+    def test_levels_are_ordered(self):
+        assert TRACE_LEVELS["off"] < TRACE_LEVELS["stage"] < TRACE_LEVELS["deep"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace level"):
+            Tracer(level="verbose")
+
+    def test_off_records_nothing(self):
+        tracer = Tracer(level="off")
+        with tracer.span("detect") as span:
+            assert span is None
+        assert tracer.roots == []
+        assert tracer.span_count == 0
+
+    def test_stage_level_drops_deep_spans(self):
+        tracer = Tracer(level="stage")
+        with tracer.span("compile") as outer:
+            with tracer.span("engine.join_pairs", level="deep") as inner:
+                assert inner is None
+        assert outer.children == []
+        assert tracer.span_count == 1
+
+    def test_deep_level_records_both(self):
+        tracer = Tracer(level="deep")
+        with tracer.span("compile"):
+            with tracer.span("engine.join_pairs", level="deep") as inner:
+                assert inner is not None
+        assert [s.name for s in tracer.walk()] == ["compile", "engine.join_pairs"]
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer(level="deep")
+        with tracer.span("a") as a:
+            with tracer.span("b", level="deep") as b:
+                with tracer.span("c", level="deep") as c:
+                    pass
+            with tracer.span("d", level="deep") as d:
+                pass
+        assert a.parent_id is None
+        assert b.parent_id == a.span_id
+        assert c.parent_id == b.span_id
+        assert d.parent_id == a.span_id
+        assert [child.name for child in a.children] == ["b", "d"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer(level="stage")
+        for name in ("detect", "compile"):
+            with tracer.span(name):
+                pass
+        assert [root.name for root in tracer.roots] == ["detect", "compile"]
+        assert all(root.parent_id is None for root in tracer.roots)
+
+    def test_durations_nest(self):
+        tracer = Tracer(level="deep")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", level="deep") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attributes_and_annotate(self):
+        tracer = Tracer(level="stage")
+        with tracer.span("detect", rows=10) as span:
+            tracer.annotate(noisy=3)
+        assert span.attributes == {"rows": 10, "noisy": 3}
+
+    def test_annotate_outside_span_is_noop(self):
+        tracer = Tracer(level="stage")
+        tracer.annotate(ignored=True)
+        assert tracer.roots == []
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(level="stage")
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("stage failed")
+        assert tracer.roots[0].duration >= 0.0
+        assert active_tracer() is None
+
+
+class TestActiveTracer:
+    def test_inactive_by_default(self):
+        assert active_tracer() is None
+        assert not deep_enabled()
+
+    def test_active_only_while_span_open(self):
+        tracer = Tracer(level="deep")
+        assert active_tracer() is None
+        with tracer.span("stage"):
+            assert active_tracer() is tracer
+            assert deep_enabled()
+        assert active_tracer() is None
+        assert not deep_enabled()
+
+    def test_deep_span_noop_without_tracer(self):
+        with deep_span("engine.join_pairs") as span:
+            assert span is None
+
+    def test_deep_span_noop_at_stage_level(self):
+        tracer = Tracer(level="stage")
+        with tracer.span("compile"):
+            assert not deep_enabled()
+            with deep_span("engine.join_pairs") as span:
+                assert span is None
+        assert tracer.span_count == 1
+
+    def test_deep_span_records_under_deep_tracer(self):
+        tracer = Tracer(level="deep")
+        with tracer.span("compile") as outer:
+            with deep_span("engine.join_pairs", backend="numpy") as span:
+                assert span is not None
+        assert outer.children[0].name == "engine.join_pairs"
+        assert outer.children[0].attributes == {"backend": "numpy"}
+
+
+class TestSerialization:
+    def make_trace(self):
+        tracer = Tracer(level="deep")
+        with tracer.span("compile", rows=4):
+            with tracer.span("ground", level="deep", pairs=7):
+                pass
+        return tracer
+
+    def test_span_round_trip(self):
+        tracer = self.make_trace()
+        root = tracer.roots[0]
+        clone = Span.from_dict(root.to_dict())
+        assert clone.name == root.name
+        assert clone.span_id == root.span_id
+        assert clone.attributes == root.attributes
+        assert clone.duration == root.duration
+        assert [c.name for c in clone.children] == ["ground"]
+        assert clone.children[0].parent_id == root.span_id
+        assert clone.children[0].attributes == {"pairs": 7}
+
+    def test_tracer_to_dict(self):
+        payload = self.make_trace().to_dict()
+        assert payload["level"] == "deep"
+        assert payload["span_count"] == 2
+        assert [s["name"] for s in payload["spans"]] == ["compile"]
+
+    def test_walk_is_depth_first(self):
+        tracer = self.make_trace()
+        assert [s.name for s in tracer.walk()] == ["compile", "ground"]
+
+
+class TestMemoryAccounting:
+    def test_memory_tracer_records_heap_peaks(self):
+        tracer = Tracer(level="stage", memory=True)
+        try:
+            with tracer.span("alloc") as span:
+                blob = [0] * 50_000
+                del blob
+            assert span.py_mem_peak is not None
+            assert span.py_mem_peak > 0
+        finally:
+            tracer.shutdown()
+        assert not tracemalloc.is_tracing()
+
+    def test_child_peaks_fold_into_parent(self):
+        tracer = Tracer(level="deep", memory=True)
+        try:
+            with tracer.span("outer") as outer:
+                with tracer.span("inner", level="deep") as inner:
+                    blob = [0] * 50_000
+                    del blob
+            assert outer.py_mem_peak >= inner.py_mem_peak
+        finally:
+            tracer.shutdown()
+
+    def test_shutdown_respects_foreign_tracemalloc(self):
+        tracemalloc.start()
+        try:
+            tracer = Tracer(level="stage", memory=True)
+            with tracer.span("stage"):
+                pass
+            tracer.shutdown()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_no_memory_flag_leaves_peaks_unset(self):
+        assert not tracemalloc.is_tracing()
+        tracer = Tracer(level="stage")
+        with tracer.span("stage") as span:
+            pass
+        assert span.py_mem_peak is None
