@@ -63,8 +63,8 @@ def _consume_vector(engine, dataset, domains, dcs, hypergraph,
     count = 0
     started = time.perf_counter()
     for dc in dcs:
-        for left, _right in enumerator.pair_chunks(dc, use_partitioning,
-                                                   hypergraph):
+        for left, _right in enumerator.pair_chunks(
+                dc, use_partitioning=use_partitioning, hypergraph=hypergraph):
             count += len(left)
     return count, time.perf_counter() - started
 

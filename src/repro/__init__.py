@@ -14,6 +14,19 @@ Quickstart
 >>> fds = [parse_fd("Zip -> City,State")]
 >>> dcs = [dc for fd in fds for dc in fd.to_denial_constraints()]
 >>> result = HoloClean(HoloCleanConfig(tau=0.5)).repair(dataset, dcs)  # doctest: +SKIP
+
+The staged API exposes the same pipeline as five re-runnable stages
+over a shared :class:`RepairContext` — run the default plan once, then
+re-enter from any stage with new knobs without repeating the ones
+before it (``parallel_workers`` shards grounding across processes with
+byte-identical results):
+
+>>> from repro import RepairContext, RepairPlan
+>>> ctx = RepairContext(dataset, dcs, HoloCleanConfig(parallel_workers=4))  # doctest: +SKIP
+>>> ctx = RepairPlan.default().run(ctx)  # doctest: +SKIP
+>>> ctx.config, ctx.model = ctx.config.with_(tau=0.7), None  # doctest: +SKIP
+>>> ctx = RepairPlan.default().starting_at("compile").run(ctx)  # detection reused  # doctest: +SKIP
+>>> ctx.result.report  # RunReport: trace forest + metrics + fingerprint  # doctest: +SKIP
 """
 
 from repro.dataset import Attribute, Cell, Dataset, NULL, Schema, Statistics
@@ -40,8 +53,9 @@ from repro.detect import (
     OutlierDetector,
     ViolationDetector,
 )
-from repro.engine import ColumnStore, Engine
+from repro.engine import ColumnStore, Engine, backend_names, register_backend
 from repro.external import ExternalDictionary
+from repro.obs import RunReport
 from repro.core import (
     ApplyStage,
     CompileStage,
@@ -90,7 +104,10 @@ __all__ = [
     "ViolationDetector",
     "ColumnStore",
     "Engine",
+    "backend_names",
+    "register_backend",
     "ExternalDictionary",
+    "RunReport",
     "HoloClean",
     "HoloCleanConfig",
     "RepairContext",

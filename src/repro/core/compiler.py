@@ -100,11 +100,11 @@ class ModelCompiler:
                               max_domain=config.max_domain,
                               strategy=config.domain_strategy)
         with deep_span("compile.prune_domains", cells=len(query_cells)):
-            query_domains = pruner.domains(query_cells)
+            query_domains = self._prune_domains(pruner, query_cells)
 
         evidence_cells = self._sample_evidence(set(query_domains))
         with deep_span("compile.prune_evidence", cells=len(evidence_cells)):
-            evidence_domains = pruner.domains(evidence_cells)
+            evidence_domains = self._prune_domains(pruner, evidence_cells)
 
         # The slice of the InitValue relation this model grounds against,
         # materialised once (column-decoded by the engine when available)
@@ -168,6 +168,15 @@ class ModelCompiler:
                 graph, query_domains)
             grounding.update(factor_grounding)
 
+        # Multi-core fan-out accounting (prune / featurize / factor /
+        # stream dispatches), surfaced as ``grounding_shards_*`` — absent
+        # from single-process runs so their size reports are unchanged.
+        if self.engine is not None:
+            shard = getattr(self.engine.backend, "shard_stats", None)
+            if shard and shard.get("calls"):
+                for key, value in shard.items():
+                    grounding[f"shards_{key}"] = value
+
         relations = CompiledRelations(self.dataset,
                                       {**query_domains, **evidence_domains},
                                       matched=matched,
@@ -196,6 +205,31 @@ class ModelCompiler:
                              evidence_labels=evidence_labels,
                              query_ids=query_ids, ddlog_program=program,
                              skipped_factors=skipped, grounding=grounding)
+
+    # ------------------------------------------------------------------
+    def _prune_domains(self, pruner: DomainPruner,
+                       cells: list[Cell]) -> dict[Cell, list[str]]:
+        """Candidate domains for ``cells``, sharded when the backend can.
+
+        Workers rebuild the pruner over their own engine statistics, so
+        dispatch is only sound when this compiler also prunes through
+        the shared engine statistics (the default wiring); any custom
+        ``stats`` keeps the serial path.  Output is byte-identical
+        either way: per-cell pruning is independent and results merge
+        back in cell order.
+        """
+        backend = self.engine.backend if self.engine is not None else None
+        prune = getattr(backend, "prune_cells", None)
+        if (prune is not None and cells
+                and getattr(self.stats, "_engine", None) is self.engine
+                and pruner.stats is self.stats):
+            params = (pruner.tau, pruner.max_domain, pruner.strategy,
+                      tuple(pruner.attributes))
+            results = prune(list(cells), params)
+            if results is not None:
+                return {cell: domain
+                        for cell, domain in zip(cells, results) if domain}
+        return pruner.domains(cells)
 
     # ------------------------------------------------------------------
     def _featurize_all(self, context: FeaturizationContext,
@@ -330,21 +364,30 @@ class ModelCompiler:
                 self.engine, self.dataset, graph.variables, query_domains,
                 max_table_cells=config.max_factor_table,
                 weight=config.dc_factor_weight)
+        # A sharding backend grounds supported constraints' chunks in
+        # worker processes; the phase context hands workers everything a
+        # builder clone needs (inherited zero-copy under fork).
+        dispatch = None
+        if builder is not None and self.engine is not None:
+            backend = self.engine.backend
+            dispatch = getattr(backend, "factor_chunks", None)
+            if dispatch is not None and any(
+                    builder.supports(dc) for dc in self.constraints):
+                backend.configure(factors=(
+                    self.constraints, graph.variables, query_domains,
+                    config.max_factor_table, config.dc_factor_weight))
         skipped = 0
         pairs = 0
-        for dc in self.constraints:
+        for ci, dc in enumerate(self.constraints):
             with deep_span("compile.ground_dc", constraint=dc.name) as sp:
                 dc_pairs = 0
                 if dc.is_single_tuple:
                     skipped += self._ground_single_tuple_factors(graph, dc)
                 elif builder is not None and builder.supports(dc):
-                    for left, right in enumerator.pair_chunks(
-                            dc, config.use_partitioning, hypergraph):
-                        dc_pairs += len(left)
-                        factors, chunk_skipped = builder.ground_chunk(
-                            dc, left, right)
-                        graph.add_factors(factors)
-                        skipped += chunk_skipped
+                    dc_pairs, dc_skipped = self._ground_vector_dc(
+                        graph, ci, dc, enumerator, builder, hypergraph,
+                        dispatch)
+                    skipped += dc_skipped
                 else:
                     for t1, t2 in enumerator.pairs_for(
                             dc, config.use_partitioning, hypergraph):
@@ -365,6 +408,44 @@ class ModelCompiler:
                 {f"table_{key}": value
                  for key, value in builder.stats.items()})
         return skipped, grounding
+
+    def _ground_vector_dc(self, graph: FactorGraph, ci: int,
+                          dc: DenialConstraint, enumerator, builder,
+                          hypergraph, dispatch) -> tuple[int, int]:
+        """Ground one vectorizable constraint's pair chunks.
+
+        With a sharding backend the chunks are buffered and fanned out:
+        each worker runs the same ``_ground_chunk`` over its own builder
+        clone and the parent merges factors, skip counts, and stats
+        deltas back in chunk order — byte-identical to the serial walk.
+        When dispatch is unavailable (or the pool broke mid-run) the
+        chunks ground inline.
+        """
+        config = self.config
+        chunks = enumerator.pair_chunks(
+            dc, use_partitioning=config.use_partitioning,
+            hypergraph=hypergraph)
+        pairs = 0
+        skipped = 0
+        if dispatch is not None:
+            buffered = [(ci, left, right) for left, right in chunks]
+            results = dispatch(buffered) if buffered else []
+            if results is not None:
+                for (_, left, _), (factors, chunk_skipped, delta) in zip(
+                        buffered, results):
+                    pairs += len(left)
+                    graph.add_factors(factors)
+                    skipped += chunk_skipped
+                    for key, value in delta.items():
+                        builder.stats[key] += value
+                return pairs, skipped
+            chunks = ((left, right) for _, left, right in buffered)
+        for left, right in chunks:
+            pairs += len(left)
+            factors, chunk_skipped = builder.ground_chunk(dc, left, right)
+            graph.add_factors(factors)
+            skipped += chunk_skipped
+        return pairs, skipped
 
     def _ground_single_tuple_factors(self, graph: FactorGraph,
                                      dc: DenialConstraint) -> int:

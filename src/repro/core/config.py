@@ -118,10 +118,19 @@ class HoloCleanConfig:
     #: just what lets grounding scale.
     use_engine: bool = True
 
-    #: Execution backend for the engine: ``"numpy"`` (vectorized arrays,
-    #: default) or ``"sqlite"`` (in-memory DBMS grounding, the paper's
-    #: original architecture).
+    #: Execution backend for the engine, by registry name (see
+    #: :func:`repro.engine.backend.register_backend`): ``"numpy"``
+    #: (vectorized arrays, default), ``"sqlite"`` (in-memory DBMS
+    #: grounding, the paper's original architecture), ``"parallel"``
+    #: (multi-core sharded grounding), or any backend registered by an
+    #: extension.
     engine_backend: str = "numpy"
+
+    #: Worker processes for sharded grounding: ``0`` (default) keeps the
+    #: single-process path; ``n >= 1`` wraps the engine backend in a
+    #: :class:`~repro.engine.parallel.ParallelBackend` with ``n`` workers.
+    #: Results are byte-identical either way.
+    parallel_workers: int = 0
 
     # --- observability --------------------------------------------------------
     #: Trace-span verbosity of the telemetry subsystem (:mod:`repro.obs`):
@@ -165,10 +174,18 @@ class HoloCleanConfig:
         if not (self.use_dc_feats or self.use_dc_factors or self.use_cooccur
                 or self.use_minimality or self.use_frequency):
             raise ValueError("at least one repair signal must be enabled")
-        if self.engine_backend not in ("numpy", "sqlite"):
+        # Validate against the live backend registry (importing the
+        # engine package triggers the built-in registrations), so adding
+        # a backend needs no core edits.
+        from repro.engine import backend_names
+
+        if self.engine_backend not in backend_names():
             raise ValueError(
-                f"engine_backend must be 'numpy' or 'sqlite', got "
-                f"{self.engine_backend!r}")
+                f"unknown engine backend {self.engine_backend!r}; "
+                f"pick one of {backend_names()}")
+        if self.parallel_workers < 0:
+            raise ValueError(
+                f"parallel_workers must be >= 0, got {self.parallel_workers}")
         if self.trace_level not in ("off", "stage", "deep"):
             raise ValueError(
                 f"trace_level must be 'off', 'stage', or 'deep', got "

@@ -163,16 +163,42 @@ class PairEnumerator:
                     if len(seen) >= self.max_pairs:
                         return
 
-    def pair_chunks(self, dc: DenialConstraint, use_partitioning: bool = False,
+    def pair_chunks(self, dc: DenialConstraint, *,
+                    use_partitioning: bool = False,
                     hypergraph: ConflictHypergraph | None = None):
-        """The :meth:`pairs_for` stream as ``(left, right)`` array chunks.
+        """The constraint's pair stream as ``(left, right)`` array chunks.
 
-        Part of the enumerator contract so bulk consumers (the vectorized
-        factor-table builder, benchmarks) can iterate chunks regardless
-        of the enumerator kind; the engine enumerator overrides this with
-        its native columnar product.  Concatenated chunks equal the tuple
-        stream exactly — same pairs, same order, same cap.
+        **The** enumerator bulk contract, shared by every implementation
+        (this final method is the single entry point; subclasses implement
+        :meth:`_pair_chunks`): the concatenation of the yielded chunks is
+        exactly the tuple stream of :meth:`pairs_for` — same pairs, same
+        order, same ``max_pairs`` cap — delivered columnar instead of
+        tuple-at-a-time, which is what bulk consumers (the vectorized
+        factor-table builder, benchmarks) should iterate.  Flags are
+        keyword-only: ``use_partitioning`` restricts pairs to Algorithm 3
+        components of ``hypergraph``.  Under deep tracing each chunk's
+        production time is recorded in its own ``ground.pair_chunk`` span
+        (the span clocks the enumerator, not the consumer).
         """
+        inner = self._pair_chunks(dc, use_partitioning, hypergraph)
+        if not deep_enabled():
+            return inner
+        return self._traced_chunks(dc, inner)
+
+    def _traced_chunks(self, dc: DenialConstraint, inner):
+        while True:
+            with deep_span("ground.pair_chunk", constraint=dc.name) as sp:
+                try:
+                    left, right = next(inner)
+                except StopIteration:
+                    return
+                if sp is not None:
+                    sp.attributes["pairs"] = int(len(left))
+            yield left, right
+
+    def _pair_chunks(self, dc: DenialConstraint, use_partitioning: bool,
+                     hypergraph: ConflictHypergraph | None):
+        """Naive chunk production: batch the tuple-at-a-time walk."""
         buffer: list[tuple[int, int]] = []
         for pair in self.pairs_for(dc, use_partitioning, hypergraph):
             buffer.append(pair)
@@ -237,36 +263,9 @@ class VectorPairEnumerator(PairEnumerator):
     # ------------------------------------------------------------------
     # Array-chunk API (the engine's native product)
     # ------------------------------------------------------------------
-    def pair_chunks(self, dc: DenialConstraint, use_partitioning: bool = False,
-                    hypergraph: ConflictHypergraph | None = None):
-        """The constraint's pair stream as ``(left, right)`` array chunks.
-
-        The concatenation of the chunks is exactly the tuple stream of
-        :meth:`pairs_for` — same pairs, same order, same ``max_pairs``
-        cap — delivered columnar instead of tuple-at-a-time, which is
-        what bulk consumers (benchmarks, future vectorized factor
-        builders) should iterate.  Under deep tracing each chunk's
-        production time is recorded in its own ``ground.pair_chunk``
-        span (the span clocks the enumerator, not the consumer).
-        """
-        inner = self._pair_chunks(dc, use_partitioning, hypergraph)
-        if not deep_enabled():
-            return inner
-        return self._traced_chunks(dc, inner)
-
-    def _traced_chunks(self, dc: DenialConstraint, inner):
-        while True:
-            with deep_span("ground.pair_chunk", constraint=dc.name) as sp:
-                try:
-                    left, right = next(inner)
-                except StopIteration:
-                    return
-                if sp is not None:
-                    sp.attributes["pairs"] = int(len(left))
-            yield left, right
-
     def _pair_chunks(self, dc: DenialConstraint, use_partitioning: bool,
                      hypergraph: ConflictHypergraph | None):
+        """Columnar chunk production (the base-class contract's engine)."""
         if not dc.equijoin_predicates:
             yield from self._fallback_chunks(dc, use_partitioning, hypergraph)
             return
@@ -362,7 +361,9 @@ class VectorPairEnumerator(PairEnumerator):
 
     def pairs_for(self, dc: DenialConstraint, use_partitioning: bool,
                   hypergraph: ConflictHypergraph | None):
-        for left, right in self.pair_chunks(dc, use_partitioning, hypergraph):
+        for left, right in self.pair_chunks(dc,
+                                            use_partitioning=use_partitioning,
+                                            hypergraph=hypergraph):
             yield from zip(left.tolist(), right.tolist())
 
     # ------------------------------------------------------------------
@@ -471,25 +472,55 @@ class VectorPairEnumerator(PairEnumerator):
 
         self.stats["streamed_groups"] += 1
         stride = int(member_tids.max()) + 1
+        units = self._stream_units(bucket_ids, member_tids, starts, sizes,
+                                   per_bucket)
+        runner = getattr(backend, "stream_pair_units", None)
+        if runner is not None:
+            yield from self._parallel_stream(units, runner, backend, stride,
+                                             remaining)
+            return
         seen = np.empty(0, dtype=np.int64)
+        for unit in units:
+            if remaining[0] <= 0:
+                return
+            left, right = self._run_stream_unit(unit, backend)
+            self.stats["chunks"] += 1
+            chunk, seen = self._fresh_clip(left, right, stride, seen,
+                                           remaining)
+            if chunk is not None:
+                yield chunk
+
+    def _stream_units(self, bucket_ids: np.ndarray, member_tids: np.ndarray,
+                      starts: np.ndarray, sizes: np.ndarray,
+                      per_bucket: np.ndarray):
+        """One streamed group's work units, in chunk-emission order.
+
+        Each unit is independent of the others and of any enumerator
+        state, so a sharding backend can execute a window of them
+        concurrently; executing them in order through
+        :meth:`_run_stream_unit` reproduces the sequential walk exactly.
+        Unit kinds: ``("block", members, start, budget)`` — one bounded
+        block of an oversized bucket's nested pair walk — and
+        ``("domain", bucket_ids, member_tids)`` — one run of consecutive
+        buckets totalling at most ``chunk_pairs`` estimated pairs.
+        """
+        from repro.engine import ops
+
         bucket = 0
         num_buckets = len(starts)
-        while bucket < num_buckets and remaining[0] > 0:
+        while bucket < num_buckets:
             if per_bucket[bucket] > self.chunk_pairs:
                 # A single bucket larger than a chunk: stream its nested
                 # pair walk in bounded blocks instead of materialising
                 # O(|bucket|²) pairs at once.
                 lo = int(starts[bucket])
                 members = member_tids[lo:lo + int(sizes[bucket])]
+                size = len(members)
                 position = 0
-                while position < len(members) - 1 and remaining[0] > 0:
-                    left, right, position = ops.bucket_pair_block(
-                        members, position, self.chunk_pairs)
-                    self.stats["chunks"] += 1
-                    chunk, seen = self._fresh_clip(left, right, stride,
-                                                   seen, remaining)
-                    if chunk is not None:
-                        yield chunk
+                while position < size - 1:
+                    yield ("block", members, position, self.chunk_pairs)
+                    position = ops.bucket_block_end(size, position,
+                                                    self.chunk_pairs)
                 bucket += 1
                 continue
             # Fixed-size chunk: consecutive buckets totalling at most
@@ -502,14 +533,58 @@ class VectorPairEnumerator(PairEnumerator):
                 end += 1
             lo = int(starts[bucket])
             hi = int(starts[end - 1] + sizes[end - 1])
-            left, right = backend.domain_join_pairs(bucket_ids[lo:hi],
-                                                    member_tids[lo:hi])
-            self.stats["chunks"] += 1
-            chunk, seen = self._fresh_clip(left, right, stride, seen,
-                                           remaining)
-            if chunk is not None:
-                yield chunk
+            yield ("domain", bucket_ids[lo:hi], member_tids[lo:hi])
             bucket = end
+
+    @staticmethod
+    def _run_stream_unit(unit, backend):
+        """Execute one stream unit sequentially (the oracle path)."""
+        from repro.engine import ops
+
+        if unit[0] == "block":
+            left, right, _ = ops.bucket_pair_block(unit[1], unit[2], unit[3])
+            return left, right
+        return backend.domain_join_pairs(unit[1], unit[2])
+
+    def _parallel_stream(self, units, runner, backend, stride: int,
+                         remaining: list[int]):
+        """Execute stream units through a sharding backend, windowed.
+
+        Windows of units run concurrently on the backend's pool; results
+        come back in unit order, so the sequential dedup/budget clip
+        (:meth:`_fresh_clip`) — and therefore the emitted stream — is
+        byte-identical to the serial walk.  A window computed past the
+        ``max_pairs`` budget is discarded unprocessed, exactly where the
+        serial walk would have stopped.  If the pool degrades mid-stream
+        (``runner`` returns ``None``), the rest runs serially.
+        """
+        import itertools
+
+        seen = np.empty(0, dtype=np.int64)
+        window = max(2 * getattr(backend, "workers", 1), 2)
+        batch = list(itertools.islice(units, window))
+        while batch:
+            results = runner(batch)
+            if results is None:
+                for unit in itertools.chain(batch, units):
+                    if remaining[0] <= 0:
+                        return
+                    left, right = self._run_stream_unit(unit, backend)
+                    self.stats["chunks"] += 1
+                    chunk, seen = self._fresh_clip(left, right, stride, seen,
+                                                   remaining)
+                    if chunk is not None:
+                        yield chunk
+                return
+            for left, right in results:
+                if remaining[0] <= 0:
+                    return
+                self.stats["chunks"] += 1
+                chunk, seen = self._fresh_clip(left, right, stride, seen,
+                                               remaining)
+                if chunk is not None:
+                    yield chunk
+            batch = list(itertools.islice(units, window))
 
     def _fresh_clip(self, left: np.ndarray, right: np.ndarray, stride: int,
                     seen: np.ndarray, remaining: list[int],

@@ -11,7 +11,9 @@ reproduction's equivalent subsystem:
 * :mod:`~repro.engine.stats` — :class:`EngineStatistics`, engine-computed
   frequencies and co-occurrences behind the standard ``Statistics`` API;
 * :mod:`~repro.engine.backend` — the pluggable :class:`Backend` protocol
-  with NumPy (default) and sqlite3 implementations.
+  with a ``register_backend`` registry (NumPy and sqlite3 built in);
+* :mod:`~repro.engine.parallel` — :class:`ParallelBackend`, multi-core
+  sharded grounding over ``multiprocessing`` + shared memory.
 
 The :class:`Engine` facade bundles one store with one backend and is what
 the pipeline passes to the violation detector, domain pruner, and
@@ -28,8 +30,11 @@ from repro.engine.backend import (
     Backend,
     NumpyBackend,
     SQLiteBackend,
+    backend_names,
     make_backend,
+    register_backend,
 )
+from repro.engine.parallel import ParallelBackend
 from repro.engine.store import NULL_CODE, ColumnStore
 
 
@@ -38,15 +43,20 @@ class Engine:
 
     Construction is cheap; the store and backend are built lazily on
     first use and cached.  ``refresh()`` drops them so the next access
-    re-encodes the (mutated) dataset.
+    re-encodes the (mutated) dataset.  ``parallel_workers > 0`` wraps the
+    named backend in a :class:`ParallelBackend` that shards grounding
+    work across that many worker processes (byte-identical results).
     """
 
-    def __init__(self, dataset: Dataset, backend: str = "numpy"):
+    def __init__(self, dataset: Dataset, backend: str = "numpy",
+                 parallel_workers: int = 0):
         self.dataset = dataset
         self.backend_name = backend
-        if backend not in BACKEND_NAMES:
+        if backend not in backend_names():
             raise ValueError(
-                f"unknown engine backend {backend!r}; pick one of {BACKEND_NAMES}")
+                f"unknown engine backend {backend!r}; "
+                f"pick one of {backend_names()}")
+        self.parallel_workers = int(parallel_workers)
         self._store: ColumnStore | None = None
         self._backend: Backend | None = None
         self._statistics = None
@@ -61,7 +71,16 @@ class Engine:
     @property
     def backend(self) -> Backend:
         if self._backend is None:
-            self._backend = make_backend(self.store, self.backend_name)
+            if self.backend_name == "parallel":
+                self._backend = make_backend(
+                    self.store, "parallel",
+                    workers=self.parallel_workers or None)
+            elif self.parallel_workers > 0:
+                self._backend = make_backend(
+                    self.store, "parallel", workers=self.parallel_workers,
+                    inner=self.backend_name)
+            else:
+                self._backend = make_backend(self.store, self.backend_name)
         return self._backend
 
     def statistics(self):
@@ -74,8 +93,17 @@ class Engine:
             self._statistics = EngineStatistics(self)
         return self._statistics
 
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory, DBs)."""
+        backend = self._backend
+        if backend is not None:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+
     def refresh(self) -> None:
         """Invalidate the encoded snapshot after the dataset was mutated."""
+        self.close()
         self._store = None
         self._backend = None
         if self._statistics is not None:
@@ -96,6 +124,9 @@ __all__ = [
     "Engine",
     "NULL_CODE",
     "NumpyBackend",
+    "ParallelBackend",
     "SQLiteBackend",
+    "backend_names",
     "make_backend",
+    "register_backend",
 ]

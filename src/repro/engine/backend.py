@@ -331,21 +331,48 @@ class SQLiteBackend(_BaseBackend):
         self._db.close()
 
 
-_BACKENDS = {
-    "numpy": NumpyBackend,
-    "sqlite": SQLiteBackend,
-}
-
-#: Names accepted by :func:`make_backend` / ``HoloCleanConfig.engine_backend``.
-BACKEND_NAMES = tuple(_BACKENDS)
+_BACKENDS: dict[str, object] = {}
 
 
-def make_backend(store: ColumnStore, name: str = "numpy") -> Backend:
-    """Instantiate the named backend over a column store."""
+def register_backend(name: str, factory, *, replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` for :func:`make_backend`.
+
+    ``factory`` is any callable ``factory(store, **options) -> Backend``
+    (typically the backend class itself).  Backends self-register at
+    import time — adding a DuckDB or Postgres backend needs no edits to
+    the engine or to config validation, which both read this registry.
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"engine backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Currently registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def make_backend(store: ColumnStore, name: str = "numpy", **options) -> Backend:
+    """Instantiate the named registered backend over a column store.
+
+    ``options`` are forwarded to the backend factory (e.g.
+    ``workers=`` / ``inner=`` for the parallel backend).
+    """
     try:
         factory = _BACKENDS[name]
     except KeyError:
         raise ValueError(
-            f"unknown engine backend {name!r}; pick one of {BACKEND_NAMES}"
+            f"unknown engine backend {name!r}; pick one of {backend_names()}"
         ) from None
-    return factory(store)
+    return factory(store, **options)
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("sqlite", SQLiteBackend)
+
+#: Snapshot of the built-in names, kept for backwards compatibility —
+#: dynamic callers should prefer :func:`backend_names`.
+BACKEND_NAMES = backend_names()

@@ -306,6 +306,19 @@ def bucket_join_pairs(bucket_ids: np.ndarray,
     return left[keep], right[keep]
 
 
+def bucket_block_end(size: int, start: int, budget: int) -> int:
+    """The ``end`` :func:`bucket_pair_block` picks for a bucket of ``size``.
+
+    Exposed separately so a scheduler can pre-compute block boundaries
+    (and fan the blocks out to workers) while remaining byte-identical to
+    the sequential walk.
+    """
+    opened = size - 1 - np.arange(start, size - 1)
+    cumulative = np.cumsum(opened)
+    end = start + int(np.searchsorted(cumulative, budget, side="left")) + 1
+    return min(end, size - 1)
+
+
 def bucket_pair_block(members: np.ndarray, start: int,
                       budget: int) -> tuple[np.ndarray, np.ndarray, int]:
     """A bounded block of one bucket's nested-loop pairs.
@@ -321,10 +334,7 @@ def bucket_pair_block(members: np.ndarray, start: int,
     size = len(members)
     if start >= size - 1:
         return _EMPTY, _EMPTY, max(start, size - 1)
-    opened = size - 1 - np.arange(start, size - 1)
-    cumulative = np.cumsum(opened)
-    end = start + int(np.searchsorted(cumulative, budget, side="left")) + 1
-    end = min(end, size - 1)
+    end = bucket_block_end(size, start, budget)
     counts = size - 1 - np.arange(start, end)
     left = np.repeat(members[start:end], counts)
     positions = expand_ranges(np.arange(start + 1, end + 1), counts)

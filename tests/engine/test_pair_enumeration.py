@@ -118,7 +118,8 @@ def test_pair_chunks_concatenation_matches_stream(hospital):
     vector = VectorPairEnumerator(Engine(dataset), dataset, domains)
     for dc in dcs[:3]:
         expected = list(vector.pairs_for(dc, True, detection.hypergraph))
-        chunks = list(vector.pair_chunks(dc, True, detection.hypergraph))
+        chunks = list(vector.pair_chunks(
+            dc, use_partitioning=True, hypergraph=detection.hypergraph))
         flattened = [(int(a), int(b)) for left, right in chunks
                      for a, b in zip(left.tolist(), right.tolist())]
         assert flattened == expected
