@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-ci clean
+.PHONY: test lint lint-deep bench bench-ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,12 @@ test:
 lint:
 	ruff check .
 	xargs -a .ruff-format-paths ruff format --check
+
+# The repo-specific invariant linter (determinism, hot-path purity,
+# parallel safety, telemetry/config drift) gated by the committed
+# zero-findings baseline.  See docs/static_analysis.md.
+lint-deep:
+	PYTHONPATH=src $(PYTHON) -m repro lint
 
 # Run every benchmarks/bench_*.py and collect BENCH_*.json results.
 bench:

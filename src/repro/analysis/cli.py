@@ -1,0 +1,123 @@
+"""``repro lint`` — run the invariant linter from the command line.
+
+Exit codes follow the issue contract: ``0`` clean (no findings beyond
+the committed baseline), ``1`` findings, ``2`` configuration error
+(unparsable source, unreadable docs, missing baseline).  ``--json``
+emits a deterministic, diffable report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.runner import (
+    BASELINE_NAME,
+    run_lint,
+    write_baseline,
+)
+
+
+def _default_root() -> Path:
+    root = Path(__file__).resolve().parents[3]
+    return root
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: inferred from the package location)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; fail on any finding at all",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = args.root if args.root is not None else _default_root()
+    if not (root / "src" / "repro").is_dir():
+        print(f"repro lint: {root} has no src/repro tree", file=sys.stderr)
+        return 2
+
+    baseline_path: Path | None
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = args.baseline
+    else:
+        baseline_path = root / BASELINE_NAME
+    if args.write_baseline:
+        result = run_lint(root, baseline_path=None)
+        if result.errors:
+            for error in result.errors:
+                print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+        target = baseline_path if baseline_path is not None else root / BASELINE_NAME
+        write_baseline(target, result.findings)
+        print(f"wrote baseline with {len(result.findings)} finding(s) to {target}")
+        return 0
+
+    result = run_lint(root, baseline_path=baseline_path)
+
+    if args.json is not None:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload)
+
+    for error in result.errors:
+        print(f"repro lint: {error}", file=sys.stderr)
+    if result.errors:
+        return 2
+
+    shown = result.new_findings if result.baseline_used else result.findings
+    for finding in shown:
+        print(finding.render())
+    known = len(result.findings) - len(shown)
+    summary = (
+        f"{len(shown)} new finding(s), {known} baselined, "
+        f"{result.suppressed} pragma-suppressed"
+        if result.baseline_used
+        else f"{len(shown)} finding(s), {result.suppressed} pragma-suppressed"
+    )
+    if result.baseline_used and result.fixed_count:
+        summary += (
+            f"; {result.fixed_count} baselined finding(s) fixed — "
+            "re-run with --write-baseline to ratchet down"
+        )
+    print(summary)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,9 @@ flag is omitted).
 
 ``python -m repro bench [...]`` runs the repository's benchmark suite
 (see :mod:`repro.bench`); ``python -m repro trace report.json`` renders
-a saved run report as a text flamegraph.
+a saved run report as a text flamegraph; ``python -m repro lint``
+runs the repo-specific invariant linter (see :mod:`repro.analysis` and
+``docs/static_analysis.md``).
 
 Repairs execute through the staged plan of :mod:`repro.core.stages`
 (Detect → Compile → Learn → Infer → Apply), the same path as the
@@ -137,6 +139,10 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(verbosity_from(args))
 

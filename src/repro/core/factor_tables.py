@@ -321,6 +321,7 @@ class VectorFactorTableBuilder:
         order = np.argsort(inverse, kind="stable")
         boundaries = np.concatenate((
             [0], np.nonzero(np.diff(inverse[order]))[0] + 1, [num_pairs]))
+        # repro: allow-loop per-group walk over O(groups) boundaries, not per-row
         for g in range(len(first)):
             yield int(first[g]), order[boundaries[g]:boundaries[g + 1]]
 
@@ -394,6 +395,7 @@ class VectorFactorTableBuilder:
             return
         tables = np.where(violated[emit], np.int8(-1), np.int8(1))
         vid_cols = [slot_vids[s][idx] for s in axis_ids]
+        # repro: allow-loop emitted factors are Python objects; construction is per-factor
         for j, i in enumerate(emit.tolist()):
             out[int(idx[i])] = ConstraintFactor(
                 var_ids=tuple(int(col[i]) for col in vid_cols),

@@ -128,7 +128,9 @@ class PairEnumerator:
         emitted: set[tuple[int, int]] = set()
         for bucket in buckets.values():
             members = sorted(bucket)
+            # repro: allow-loop naive correctness oracle, not the engine path
             for i in range(len(members)):
+                # repro: allow-loop naive correctness oracle, not the engine path
                 for j in range(i + 1, len(members)):
                     pair = (members[i], members[j])
                     if pair not in emitted:
@@ -140,7 +142,9 @@ class PairEnumerator:
     def _all_pairs(self, tids: list[int], dc: DenialConstraint):
         limit = self.max_pairs
         count = 0
+        # repro: allow-loop naive correctness oracle, not the engine path
         for i in range(len(tids)):
+            # repro: allow-loop naive correctness oracle, not the engine path
             for j in range(i + 1, len(tids)):
                 yield tids[i], tids[j]
                 count += 1
@@ -318,6 +322,7 @@ class VectorPairEnumerator(PairEnumerator):
         row_label = lookup[member_tids]
         group_bounds = np.concatenate((
             [0], np.nonzero(np.diff(row_label))[0] + 1, [len(row_label)]))
+        # repro: allow-loop per-group walk over O(groups) slice bounds, not per-row
         for k in range(len(group_bounds) - 1):
             lo, hi = int(group_bounds[k]), int(group_bounds[k + 1])
             yield from self._bucketed_chunks(bucket_ids[lo:hi],

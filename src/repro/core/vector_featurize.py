@@ -340,6 +340,7 @@ class VectorFeaturizer:
                     o_values = store.values(other)
                     keys = [("cooc", attr, block.values[e // card_o],
                              other, o_values[e % card_o])
+                            # repro: allow-loop per-unique-code key labels, not per-row
                             for e in uniq.tolist()]
                     out.append(_Entries(
                         rank, fvar, fcand,
@@ -737,6 +738,7 @@ class VectorFeaturizer:
         alloc_tokens = token[alloc_order]
         uniq, first = np.unique(alloc_tokens, return_index=True)
         lut = np.full(int(offsets[-1]), -1, dtype=np.int64)
+        # repro: allow-loop per-unique-token LUT fill in first-appearance order
         for tok in uniq[np.argsort(first, kind="stable")].tolist():
             lut[tok] = builder.space.index(all_keys[tok])
         key_idx = lut[token]

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from repro.dataset.dataset import Dataset
 from repro.engine.backend import (
-    BACKEND_NAMES,
     Backend,
     NumpyBackend,
     SQLiteBackend,
@@ -115,6 +114,15 @@ class Engine:
 
     def __repr__(self) -> str:
         return f"Engine(backend={self.backend_name!r}, dataset={self.dataset.name!r})"
+
+
+def __getattr__(name: str):
+    # Live view: resolved on access so it includes every backend
+    # registered by the time the caller asks (including "parallel",
+    # which registers after repro.engine.backend is imported).
+    if name == "BACKEND_NAMES":
+        return backend_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

@@ -373,6 +373,11 @@ def make_backend(store: ColumnStore, name: str = "numpy", **options) -> Backend:
 register_backend("numpy", NumpyBackend)
 register_backend("sqlite", SQLiteBackend)
 
-#: Snapshot of the built-in names, kept for backwards compatibility —
-#: dynamic callers should prefer :func:`backend_names`.
-BACKEND_NAMES = backend_names()
+
+def __getattr__(name: str):
+    # ``BACKEND_NAMES`` is kept for backwards compatibility but computed
+    # on access: a module-load-time snapshot would miss backends that
+    # register after this module imports (e.g. "parallel").
+    if name == "BACKEND_NAMES":
+        return backend_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

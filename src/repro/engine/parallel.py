@@ -112,6 +112,10 @@ class _WorkerState:
         self.context = context
         self.caches: dict = {}
         self.shm = shared_memory.SharedMemory(name=spec.shm_name)
+        # Close (not unlink — the parent owns the segment) when this
+        # state is collected, so a worker that outlives one pool start
+        # does not accumulate mappings.
+        weakref.finalize(self, _close_shm, self.shm)
         if spec.start_method != "fork":
             # Attaching registers the segment with this process's resource
             # tracker, which would unlink it when the worker exits.  Under
@@ -329,6 +333,15 @@ _TASK_HANDLERS = {
 
 def _run_task(task):
     return _TASK_HANDLERS[task[0]](_WORKER, *task[1:])
+
+
+def _close_shm(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # A live ndarray view still references the buffer; the mapping
+        # is released with the process instead.
+        pass
 
 
 def _release_handles(handles: dict) -> None:

@@ -1,0 +1,58 @@
+"""Fixture helpers: build in-memory SourceModules and contexts."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import AnalysisContext, SourceModule, parse_pragmas
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def module_from_source(rel: str, source: str) -> SourceModule:
+    """A SourceModule parsed from a snippet, pretending to live at ``rel``."""
+    text = textwrap.dedent(source)
+    return SourceModule(
+        path=Path("/memory") / rel,
+        rel=rel,
+        text=text,
+        lines=text.splitlines(),
+        tree=ast.parse(text),
+        pragmas=parse_pragmas(text),
+    )
+
+
+@pytest.fixture
+def make_module():
+    return module_from_source
+
+
+@pytest.fixture
+def make_ctx(tmp_path):
+    """Build an AnalysisContext over snippet modules rooted at tmp_path."""
+
+    def build(*modules: SourceModule, docs: dict[str, str] | None = None):
+        for rel, text in (docs or {}).items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return AnalysisContext(tmp_path, list(modules))
+
+    return build
+
+
+@pytest.fixture
+def repo_ctx():
+    """The real repository, parsed — for docs-sync and repo-clean tests."""
+    from repro.analysis.runner import discover_modules
+
+    errors: list[str] = []
+    modules = discover_modules(REPO_ROOT, errors)
+    assert not errors, errors
+    ctx = AnalysisContext(REPO_ROOT, modules)
+    ctx.errors = errors
+    return ctx

@@ -1,0 +1,148 @@
+"""Fixture self-tests: the determinism checker's five rules."""
+
+from __future__ import annotations
+
+from repro.analysis.determinism import CRITICAL_MODULES, DeterminismChecker
+
+CRITICAL = "src/repro/engine/ops.py"
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+def check(make_ctx, module):
+    return DeterminismChecker().check(make_ctx(module))
+
+
+def test_set_iteration_flagged(make_module, make_ctx):
+    bad = make_module(
+        CRITICAL,
+        """
+        def emit(values):
+            for v in {1, 2, 3}:
+                yield v
+            for v in set(values):
+                yield v
+            out = [v for v in frozenset(values)]
+            return out
+        """,
+    )
+    assert rules_of(check(make_ctx, bad)) == ["set-iteration"] * 3
+
+
+def test_sorted_set_iteration_clean(make_module, make_ctx):
+    good = make_module(
+        CRITICAL,
+        """
+        def emit(values):
+            for v in sorted(set(values)):
+                yield v
+        """,
+    )
+    assert check(make_ctx, good) == []
+
+
+def test_unseeded_random_flagged(make_module, make_ctx):
+    bad = make_module(
+        CRITICAL,
+        """
+        import random
+        import numpy as np
+
+        def sample():
+            a = random.shuffle([1, 2])
+            b = np.random.rand(3)
+            c = np.random.default_rng()
+            return a, b, c
+        """,
+    )
+    assert rules_of(check(make_ctx, bad)) == ["unseeded-random"] * 3
+
+
+def test_seeded_random_clean(make_module, make_ctx):
+    good = make_module(
+        CRITICAL,
+        """
+        import random
+        import numpy as np
+
+        def sample(seed):
+            rng = random.Random(seed)
+            gen = np.random.default_rng(seed)
+            return rng.random(), gen.random()
+        """,
+    )
+    assert check(make_ctx, good) == []
+
+
+def test_id_order_flagged_only_in_ordering(make_module, make_ctx):
+    bad = make_module(
+        CRITICAL,
+        """
+        def order(xs):
+            return sorted(xs, key=lambda x: id(x))
+        """,
+    )
+    good = make_module(
+        CRITICAL,
+        """
+        def cache_key(x):
+            return id(x)
+        """,
+    )
+    assert rules_of(check(make_ctx, bad)) == ["id-order"]
+    assert check(make_ctx, good) == []
+
+
+def test_unsorted_listdir_flagged(make_module, make_ctx):
+    bad = make_module(
+        CRITICAL,
+        """
+        import os
+
+        def files(path):
+            return [f for f in os.listdir(path)]
+        """,
+    )
+    good = make_module(
+        CRITICAL,
+        """
+        import os
+
+        def files(path):
+            return sorted(os.listdir(path))
+        """,
+    )
+    assert rules_of(check(make_ctx, bad)) == ["unsorted-listdir"]
+    assert check(make_ctx, good) == []
+
+
+def test_wall_clock_flagged(make_module, make_ctx):
+    bad = make_module(
+        CRITICAL,
+        """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.now()
+        """,
+    )
+    assert rules_of(check(make_ctx, bad)) == ["wall-clock"] * 2
+
+
+def test_non_critical_module_ignored(make_module, make_ctx):
+    elsewhere = make_module(
+        "src/repro/obs/report.py",
+        """
+        import time
+
+        def stamp():
+            for v in {1, 2}:
+                pass
+            return time.time()
+        """,
+    )
+    assert elsewhere.rel not in CRITICAL_MODULES
+    assert check(make_ctx, elsewhere) == []

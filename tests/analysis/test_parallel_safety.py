@@ -1,0 +1,130 @@
+"""Fixture self-tests: the parallel-safety checker."""
+
+from __future__ import annotations
+
+from repro.analysis.parallel_safety import ParallelSafetyChecker
+
+REL = "src/repro/engine/parallel.py"
+
+
+def check(make_ctx, module):
+    return ParallelSafetyChecker().check(make_ctx(module))
+
+
+def test_lambda_to_pool_flagged(make_module, make_ctx):
+    bad = make_module(
+        REL,
+        """
+        import multiprocessing
+
+        def run(pool, items):
+            return pool.map(lambda x: x + 1, items)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["pool-callable"]
+
+
+def test_bound_method_to_pool_flagged(make_module, make_ctx):
+    bad = make_module(
+        REL,
+        """
+        import multiprocessing
+
+        class Runner:
+            def _work(self, x):
+                return x
+
+            def run(self, pool, items):
+                return pool.imap_unordered(self._work, items)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["pool-callable"]
+
+
+def test_nested_function_to_pool_flagged(make_module, make_ctx):
+    bad = make_module(
+        REL,
+        """
+        import multiprocessing
+
+        def run(pool, items, offset):
+            def shift(x):
+                return x + offset
+
+            return pool.map(shift, items)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["pool-callable"]
+
+
+def test_initializer_lambda_flagged(make_module, make_ctx):
+    bad = make_module(
+        REL,
+        """
+        import multiprocessing
+
+        def start(ctx):
+            return ctx.Pool(2, initializer=lambda: None)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["pool-callable"]
+
+
+def test_module_level_function_clean(make_module, make_ctx):
+    good = make_module(
+        REL,
+        """
+        import multiprocessing
+
+        def _work(x):
+            return x + 1
+
+        def run(pool, items):
+            return pool.map(_work, items, chunksize=1)
+        """,
+    )
+    assert check(make_ctx, good) == []
+
+
+def test_shared_memory_without_finalize_flagged(make_module, make_ctx):
+    bad = make_module(
+        REL,
+        """
+        from multiprocessing import shared_memory
+
+        class Holder:
+            def __init__(self, name):
+                self.shm = shared_memory.SharedMemory(name=name)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["shm-finalize"]
+
+
+def test_shared_memory_with_finalize_clean(make_module, make_ctx):
+    good = make_module(
+        REL,
+        """
+        import weakref
+        from multiprocessing import shared_memory
+
+        def _close(shm):
+            shm.close()
+
+        class Holder:
+            def __init__(self, name):
+                self.shm = shared_memory.SharedMemory(name=name)
+                weakref.finalize(self, _close, self.shm)
+        """,
+    )
+    assert check(make_ctx, good) == []
+
+
+def test_module_without_multiprocessing_skipped(make_module, make_ctx):
+    elsewhere = make_module(
+        "src/repro/obs/report.py",
+        """
+        def run(pool, items):
+            return pool.map(lambda x: x, items)
+        """,
+    )
+    assert check(make_ctx, elsewhere) == []

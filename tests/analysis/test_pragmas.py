@@ -1,0 +1,122 @@
+"""Pragma parsing, suppression, and hygiene (missing-reason / unused)."""
+
+from __future__ import annotations
+
+from repro.analysis.base import parse_pragmas
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.purity import PurityChecker
+from repro.analysis.runner import run_checkers
+
+VECTORIZED = "src/repro/core/partition.py"
+
+
+def test_parse_same_line_and_standalone():
+    pragmas = parse_pragmas(
+        "x = 1  # repro: allow-loop audited fallback\n"
+        "# repro: allow-set-iteration canonical order proven\n"
+        "y = 2\n"
+    )
+    assert pragmas[1].rule == "loop"
+    assert pragmas[1].reason == "audited fallback"
+    assert not pragmas[1].standalone
+    assert pragmas[2].rule == "set-iteration"
+    assert pragmas[2].standalone
+
+
+def test_reasonless_pragma_parses_with_empty_reason():
+    pragmas = parse_pragmas("x = 1  # repro: allow-loop\n")
+    assert pragmas[1].rule == "loop"
+    assert pragmas[1].reason == ""
+
+
+def test_pragma_inside_string_is_not_a_pragma():
+    pragmas = parse_pragmas(
+        'msg = "add # repro: allow-loop <reason> after auditing"\n'
+    )
+    assert pragmas == {}
+
+
+def test_same_line_pragma_suppresses(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):
+            for i in range(len(rows)):  # repro: allow-loop audited oracle
+                pass
+        """,
+    )
+    findings, suppressed = run_checkers(make_ctx(module), [PurityChecker()])
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_standalone_pragma_covers_next_line(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):
+            # repro: allow-loop audited oracle
+            for i in range(len(rows)):
+                pass
+        """,
+    )
+    findings, suppressed = run_checkers(make_ctx(module), [PurityChecker()])
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_wrong_rule_pragma_does_not_suppress(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):
+            for i in range(len(rows)):  # repro: allow-set-iteration nope
+                pass
+        """,
+    )
+    findings, _ = run_checkers(
+        make_ctx(module), [PurityChecker(), DeterminismChecker()]
+    )
+    rules = sorted(f.rule_id for f in findings)
+    assert rules == ["pragma.unused", "purity.loop"]
+
+
+def test_missing_reason_reported(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):
+            for i in range(len(rows)):  # repro: allow-loop
+                pass
+        """,
+    )
+    findings, suppressed = run_checkers(make_ctx(module), [PurityChecker()])
+    # The pragma still suppresses (the loop is audited) but its missing
+    # reason is itself a finding, so the run cannot go green.
+    assert suppressed == 1
+    assert [f.rule_id for f in findings] == ["pragma.missing-reason"]
+
+
+def test_unused_pragma_reported(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):  # repro: allow-loop stale suppression
+            return rows
+        """,
+    )
+    findings, suppressed = run_checkers(make_ctx(module), [PurityChecker()])
+    assert suppressed == 0
+    assert [f.rule_id for f in findings] == ["pragma.unused"]
+
+
+def test_unknown_rule_pragma_reported(make_module, make_ctx):
+    module = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):  # repro: allow-bogus-rule some reason
+            return rows
+        """,
+    )
+    findings, _ = run_checkers(make_ctx(module), [PurityChecker()])
+    assert [f.rule_id for f in findings] == ["pragma.unknown-rule"]

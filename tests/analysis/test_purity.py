@@ -1,0 +1,82 @@
+"""Fixture self-tests: the hot-path purity checker."""
+
+from __future__ import annotations
+
+from repro.analysis.purity import PurityChecker
+
+VECTORIZED = "src/repro/core/partition.py"
+
+
+def check(make_ctx, module):
+    return PurityChecker().check(make_ctx(module))
+
+
+def test_range_len_loop_flagged(make_module, make_ctx):
+    bad = make_module(
+        VECTORIZED,
+        """
+        def walk(rows):
+            out = []
+            for i in range(len(rows)):
+                out.append(rows[i])
+            return out
+        """,
+    )
+    findings = check(make_ctx, bad)
+    assert [f.rule for f in findings] == ["loop"]
+    assert findings[0].path == VECTORIZED
+
+
+def test_shape_extent_and_tolist_flagged(make_module, make_ctx):
+    bad = make_module(
+        VECTORIZED,
+        """
+        def walk(arr):
+            for i in range(arr.shape[0]):
+                pass
+            for v in arr.tolist():
+                pass
+            for i, v in enumerate(arr.tolist()):
+                pass
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["loop"] * 3
+
+
+def test_comprehension_flagged(make_module, make_ctx):
+    bad = make_module(
+        VECTORIZED,
+        """
+        def walk(arr):
+            return [v + 1 for v in arr.tolist()]
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["loop"]
+
+
+def test_column_and_group_loops_clean(make_module, make_ctx):
+    good = make_module(
+        VECTORIZED,
+        """
+        def per_column(schema, columns):
+            for attr, col in zip(schema, columns):
+                yield attr, col.sum()
+
+        def per_constraint(constraints):
+            for dc in constraints:
+                yield dc
+        """,
+    )
+    assert check(make_ctx, good) == []
+
+
+def test_non_vectorized_module_ignored(make_module, make_ctx):
+    elsewhere = make_module(
+        "src/repro/core/stages.py",
+        """
+        def walk(rows):
+            for i in range(len(rows)):
+                pass
+        """,
+    )
+    assert check(make_ctx, elsewhere) == []

@@ -1,0 +1,180 @@
+"""Runner + CLI: baseline ratchet, exit codes, JSON reports, repo-clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import Finding
+from repro.analysis.runner import (
+    BASELINE_NAME,
+    compare_to_baseline,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN_DOC_OBS = """# Observability
+
+## Trace span names
+
+## `size_report` key inventory
+
+## Metrics-registry key inventory
+"""
+
+CLEAN_DOC_CONFIG = """# Configuration
+"""
+
+VIOLATION = """def walk(rows):
+    for i in range(len(rows)):
+        pass
+"""
+
+
+@pytest.fixture
+def tmp_repo(tmp_path):
+    """A minimal lintable repo tree rooted at tmp_path."""
+    (tmp_path / "src" / "repro" / "core").mkdir(parents=True)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro" / "core" / "clean.py").write_text(
+        "def ok():\n    return 1\n"
+    )
+    (tmp_path / "docs" / "observability.md").write_text(CLEAN_DOC_OBS)
+    (tmp_path / "docs" / "configuration.md").write_text(CLEAN_DOC_CONFIG)
+    return tmp_path
+
+
+def add_violation(tmp_repo):
+    (tmp_repo / "src" / "repro" / "core" / "partition.py").write_text(VIOLATION)
+
+
+def test_clean_tree_no_baseline_exit_zero(tmp_repo):
+    result = run_lint(tmp_repo)
+    assert result.errors == []
+    assert result.findings == []
+    assert result.exit_code == 0
+
+
+def test_finding_without_baseline_exit_one(tmp_repo):
+    add_violation(tmp_repo)
+    result = run_lint(tmp_repo)
+    assert [f.rule_id for f in result.findings] == ["purity.loop"]
+    assert result.exit_code == 1
+
+
+def test_missing_baseline_is_config_error(tmp_repo):
+    result = run_lint(tmp_repo, baseline_path=tmp_repo / BASELINE_NAME)
+    assert result.exit_code == 2
+    assert any("baseline" in e for e in result.errors)
+
+
+def test_baseline_ratchet(tmp_repo):
+    add_violation(tmp_repo)
+    baseline_path = tmp_repo / BASELINE_NAME
+    first = run_lint(tmp_repo)
+    write_baseline(baseline_path, first.findings)
+
+    # Same findings, baselined: green.
+    second = run_lint(tmp_repo, baseline_path=baseline_path)
+    assert second.baseline_used
+    assert second.new_findings == []
+    assert second.exit_code == 0
+
+    # A new violation on top of the baseline: red, and only the new
+    # finding is reported as new.
+    (tmp_repo / "src" / "repro" / "core" / "factor_tables.py").write_text(VIOLATION)
+    third = run_lint(tmp_repo, baseline_path=baseline_path)
+    assert [f.path for f in third.new_findings] == ["src/repro/core/factor_tables.py"]
+    assert third.exit_code == 1
+
+    # Fixing the baselined violation is reported as ratchet progress.
+    (tmp_repo / "src" / "repro" / "core" / "partition.py").write_text(
+        "def ok():\n    return 2\n"
+    )
+    (tmp_repo / "src" / "repro" / "core" / "factor_tables.py").unlink()
+    fourth = run_lint(tmp_repo, baseline_path=baseline_path)
+    assert fourth.exit_code == 0
+    assert fourth.fixed_count == 1
+
+
+def test_compare_identity_ignores_line_drift():
+    finding = Finding("purity", "loop", "src/repro/core/partition.py", 10, "msg")
+    moved = Finding("purity", "loop", "src/repro/core/partition.py", 99, "msg")
+    new, fixed = compare_to_baseline([moved], [finding])
+    assert new == [] and fixed == 0
+
+
+def test_syntax_error_is_config_error(tmp_repo):
+    (tmp_repo / "src" / "repro" / "core" / "broken.py").write_text("def (:\n")
+    result = run_lint(tmp_repo)
+    assert result.exit_code == 2
+    assert any("broken.py" in e for e in result.errors)
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "base.json"
+    findings = [Finding("purity", "loop", "a.py", 3, "msg")]
+    write_baseline(path, findings)
+    assert load_baseline(path) == findings
+    assert load_baseline(tmp_path / "absent.json") is None
+    path.write_text("not json")
+    assert load_baseline(path) is None
+
+
+# ---------------------------------------------------------------------------
+# CLI (through the real `repro lint` dispatch)
+# ---------------------------------------------------------------------------
+def cli(*args):
+    return repro_main(["lint", *args])
+
+
+def test_cli_write_baseline_then_green(tmp_repo, capsys):
+    add_violation(tmp_repo)
+    root = str(tmp_repo)
+    assert cli("--root", root, "--no-baseline") == 1
+    assert cli("--root", root, "--write-baseline") == 0
+    assert (tmp_repo / BASELINE_NAME).exists()
+    assert cli("--root", root) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+
+
+def test_cli_missing_baseline_exit_two(tmp_repo):
+    assert cli("--root", str(tmp_repo)) == 2
+
+
+def test_cli_json_report(tmp_repo):
+    add_violation(tmp_repo)
+    report_path = tmp_repo / "lint.json"
+    code = cli("--root", str(tmp_repo), "--no-baseline", "--json", str(report_path))
+    assert code == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["errors"] == []
+    assert [f["rule"] for f in payload["findings"]] == ["loop"]
+    assert payload["findings"][0]["path"] == "src/repro/core/partition.py"
+
+
+def test_cli_rejects_non_repo_root(tmp_path):
+    assert cli("--root", str(tmp_path)) == 2
+
+
+# ---------------------------------------------------------------------------
+# The repository itself is clean and its committed baseline is current
+# ---------------------------------------------------------------------------
+def test_repo_is_lint_clean():
+    result = run_lint(REPO_ROOT, baseline_path=REPO_ROOT / BASELINE_NAME)
+    assert result.errors == []
+    rendered = [f.render() for f in result.new_findings]
+    assert result.new_findings == [], rendered
+    assert result.exit_code == 0
+
+
+def test_committed_baseline_is_zero_findings():
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    assert baseline == []

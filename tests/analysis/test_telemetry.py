@@ -1,0 +1,140 @@
+"""Telemetry-drift checker: fixtures plus the real-repo docs-sync proof."""
+
+from __future__ import annotations
+
+from repro.analysis.telemetry import TelemetryChecker, extract_inventory, parse_doc
+
+DOC_REL = "docs/observability.md"
+
+SOURCE = """
+from repro.obs.trace import deep_span
+
+
+def size_report():
+    return {"variables": 3, "weights": 2}
+
+
+def run(metrics, rows):
+    with deep_span("engine.join", rows=rows):
+        metrics.gauge("detect.cells", 1)
+        metrics.extend("learn.epoch_loss", [0.5])
+"""
+
+STAGES = """
+class DetectStage:
+    name = "detect"
+"""
+
+DOC_IN_SYNC = """# Observability
+
+## Trace span names
+
+Stage spans: `detect`.
+
+| Span | Meaning |
+| --- | --- |
+| `engine.join` | backend join |
+
+## `size_report` key inventory
+
+| Key | Meaning |
+| --- | --- |
+| `variables` | random variables |
+| `weights` | tied weights |
+| `compile.<size_report key>` | placeholder family |
+
+## Metrics-registry key inventory
+
+| Key | Kind |
+| --- | --- |
+| `detect.cells` | gauge |
+| `learn.epoch_loss` | series |
+"""
+
+
+def run_checker(make_ctx, make_module, doc, extra_source=None):
+    modules = [
+        make_module("src/repro/obs/sample.py", extra_source or SOURCE),
+        make_module("src/repro/core/stages.py", STAGES),
+    ]
+    ctx = make_ctx(*modules, docs={DOC_REL: doc})
+    return TelemetryChecker().check(ctx), ctx
+
+
+def test_in_sync_doc_is_clean(make_ctx, make_module):
+    findings, _ = run_checker(make_ctx, make_module, DOC_IN_SYNC)
+    assert findings == []
+
+
+def test_extraction_inventory(make_ctx, make_module):
+    _, ctx = run_checker(make_ctx, make_module, DOC_IN_SYNC)
+    inv = extract_inventory(ctx)
+    assert set(inv.spans) == {"engine.join"}
+    assert set(inv.stage_spans) == {"detect"}
+    assert set(inv.metrics) == {"detect.cells", "learn.epoch_loss"}
+    assert inv.metric_kinds["learn.epoch_loss"] == "series"
+    assert set(inv.size_keys) == {"variables", "weights"}
+
+
+def test_parse_doc_skips_placeholder_tokens():
+    doc = parse_doc(DOC_IN_SYNC)
+    assert doc.spans == {"engine.join"}
+    assert doc.size_keys == {"variables", "weights"}
+    assert doc.metrics == {"detect.cells", "learn.epoch_loss"}
+
+
+def test_undocumented_span_and_metric_flagged(make_ctx, make_module):
+    doc = DOC_IN_SYNC.replace("| `engine.join` | backend join |\n", "").replace(
+        "| `detect.cells` | gauge |\n", ""
+    )
+    findings, _ = run_checker(make_ctx, make_module, doc)
+    assert sorted(f.rule for f in findings) == [
+        "metric-undocumented",
+        "span-undocumented",
+    ]
+    assert all(f.path == "src/repro/obs/sample.py" for f in findings)
+
+
+def test_stage_span_missing_from_prose_flagged(make_ctx, make_module):
+    doc = DOC_IN_SYNC.replace("Stage spans: `detect`.", "Stage spans: none.")
+    findings, _ = run_checker(make_ctx, make_module, doc)
+    assert [f.rule for f in findings] == ["span-undocumented"]
+    assert findings[0].path == "src/repro/core/stages.py"
+
+
+def test_phantom_doc_entries_flagged(make_ctx, make_module):
+    doc = DOC_IN_SYNC.replace(
+        "| `variables` | random variables |",
+        "| `variables` | random variables |\n| `ghost_key` | gone |",
+    ).replace(
+        "| `engine.join` | backend join |",
+        "| `engine.join` | backend join |\n| `engine.gone` | deleted |",
+    )
+    findings, _ = run_checker(make_ctx, make_module, doc)
+    assert sorted(f.rule for f in findings) == ["sizekey-unknown", "span-unknown"]
+    assert all(f.path == DOC_REL for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+def test_dynamic_span_flagged(make_ctx, make_module):
+    source = SOURCE + """
+
+def run_dynamic(name):
+    with deep_span("stage." + name):
+        pass
+"""
+    findings, _ = run_checker(make_ctx, make_module, DOC_IN_SYNC, source)
+    assert [f.rule for f in findings] == ["dynamic-span"]
+
+
+def test_real_repo_docs_are_in_sync(repo_ctx):
+    """The acceptance criterion: docs/observability.md matches the source."""
+    findings = TelemetryChecker().check(repo_ctx)
+    assert findings == [], [f.render() for f in findings]
+    inv = extract_inventory(repo_ctx)
+    # Sanity-floor the extraction so an extraction bug cannot fake sync
+    # by extracting nothing.
+    assert len(inv.spans) >= 10
+    assert len(inv.size_keys) >= 15
+    assert len(inv.metrics) >= 10
+    assert set(inv.stage_spans) == {"detect", "compile", "learn", "infer", "apply"}
