@@ -28,6 +28,7 @@ VECTORIZED_MODULES = frozenset(
         "src/repro/core/partition.py",
         "src/repro/core/factor_tables.py",
         "src/repro/core/vector_featurize.py",
+        "src/repro/core/vector_domain.py",
     }
 )
 

@@ -54,6 +54,7 @@ STATS_SOURCES = (
         "grounding_table_",
     ),
     ("src/repro/core/vector_featurize.py", "VectorFeaturizer", "stats", "grounding_"),
+    ("src/repro/core/vector_domain.py", "VectorDomainPruner", "stats", "grounding_"),
     (
         "src/repro/engine/parallel.py",
         "ParallelBackend",

@@ -25,6 +25,8 @@ from repro.core.factor_tables import VectorFactorTableBuilder
 from repro.core.featurize import FeaturizationContext, default_featurizers
 from repro.core.partition import VectorPairEnumerator, make_pair_enumerator
 from repro.core.relations import CompiledRelations, init_value_relation
+from repro.core.vector_domain import (EntityVoteModes, VectorDomainPruner,
+                                      merged_negative_domains)
 from repro.core.vector_featurize import VectorFeaturizer
 from repro.core import rules as ddlog
 from repro.dataset.dataset import Cell, Dataset
@@ -88,6 +90,16 @@ class ModelCompiler:
             stats = (self.engine.statistics() if self.engine is not None
                      else Statistics(dataset))
         self.stats = stats
+        #: Set-at-a-time Algorithm 2 pruner; built only when pruning runs
+        #: through the shared engine statistics (the default wiring) so
+        #: the naive :class:`DomainPruner` stays the correctness oracle.
+        self._vector_pruner: VectorDomainPruner | None = None
+        if (self.engine is not None and config.vector_domains
+                and getattr(stats, "_engine", None) is self.engine):
+            self._vector_pruner = VectorDomainPruner(
+                self.engine, tau=config.tau, max_domain=config.max_domain,
+                strategy=config.domain_strategy)
+        self._voter: EntityVoteModes | None = None
 
     # ------------------------------------------------------------------
     def compile(self) -> CompiledModel:
@@ -99,11 +111,14 @@ class ModelCompiler:
         pruner = DomainPruner(self.dataset, self.stats, tau=config.tau,
                               max_domain=config.max_domain,
                               strategy=config.domain_strategy)
-        with deep_span("compile.prune_domains", cells=len(query_cells)):
+        prune_path = "vector" if self._vector_pruner is not None else "naive"
+        with deep_span("compile.prune_domains", cells=len(query_cells),
+                       path=prune_path):
             query_domains = self._prune_domains(pruner, query_cells)
 
         evidence_cells = self._sample_evidence(set(query_domains))
-        with deep_span("compile.prune_evidence", cells=len(evidence_cells)):
+        with deep_span("compile.prune_evidence", cells=len(evidence_cells),
+                       path=prune_path):
             evidence_domains = self._prune_domains(pruner, evidence_cells)
 
         # The slice of the InitValue relation this model grounds against,
@@ -122,36 +137,55 @@ class ModelCompiler:
         builder = FeatureMatrixBuilder(space)
         variables = VariableBlock()
 
-        specs: list[tuple[Cell, list[str]]] = []
-        query_ids: list[int] = []
-        weak_candidates: list[tuple[int, int]] = []
-        for cell in sorted(query_domains):
-            domain = query_domains[cell]
-            init = init_values[cell]
-            init_index = domain.index(init) if init in domain else -1
-            info = variables.add(cell, domain, init_index, is_evidence=False)
-            vid = builder.start_variable(len(domain))
-            assert vid == info.vid
-            specs.append((cell, domain))
-            query_ids.append(vid)
-            weak_label = self._weak_label(context, cell, domain, init_index)
-            if weak_label >= 0 and len(domain) >= 2:
-                weak_candidates.append((vid, weak_label))
+        # Query variables, registered block-at-a-time: the per-cell
+        # add / start_variable / weak-label walk becomes array-shaped spec
+        # construction plus one batched registration per block.
+        query_specs = [(cell, query_domains[cell])
+                       for cell in sorted(query_domains)]
+        query_inits = [
+            domain.index(init_values[cell])
+            if init_values[cell] in domain else -1
+            for cell, domain in query_specs]
+        query_infos = variables.add_block(
+            [cell for cell, _ in query_specs],
+            [domain for _, domain in query_specs],
+            query_inits, is_evidence=False)
+        first_vid = builder.start_variables(
+            [len(domain) for _, domain in query_specs])
+        assert not query_infos or first_vid == query_infos[0].vid
+        specs: list[tuple[Cell, list[str]]] = list(query_specs)
+        query_ids: list[int] = [info.vid for info in query_infos]
+        labels = self._weak_labels(context, query_specs, query_inits)
+        weak_candidates: list[tuple[int, int]] = [
+            (info.vid, label)
+            for info, label, (_, domain) in zip(query_infos, labels,
+                                                query_specs)
+            if label >= 0 and len(domain) >= 2]
 
         evidence_ids: list[int] = []
         evidence_labels: list[int] = []
-        for cell in sorted(evidence_domains):
-            domain = self._with_negatives(cell, evidence_domains[cell])
+        sorted_evidence = sorted(evidence_domains)
+        extended = self._evidence_negatives(
+            sorted_evidence, [evidence_domains[cell]
+                              for cell in sorted_evidence])
+        evidence_specs: list[tuple[Cell, list[str]]] = []
+        evidence_inits: list[int] = []
+        for cell, domain in zip(sorted_evidence, extended):
             init = init_values[cell]
             if init is None or init not in domain or len(domain) < 2:
                 continue  # no training signal in a singleton/unlabelled cell
-            info = variables.add(cell, domain, domain.index(init),
-                                 is_evidence=True)
-            vid = builder.start_variable(len(domain))
-            assert vid == info.vid
-            specs.append((cell, domain))
-            evidence_ids.append(vid)
-            evidence_labels.append(info.observed_index)
+            evidence_specs.append((cell, domain))
+            evidence_inits.append(domain.index(init))
+        evidence_infos = variables.add_block(
+            [cell for cell, _ in evidence_specs],
+            [domain for _, domain in evidence_specs],
+            evidence_inits, is_evidence=True)
+        first_vid = builder.start_variables(
+            [len(domain) for _, domain in evidence_specs])
+        assert not evidence_infos or first_vid == evidence_infos[0].vid
+        specs.extend(evidence_specs)
+        evidence_ids = [info.vid for info in evidence_infos]
+        evidence_labels = [info.observed_index for info in evidence_infos]
 
         with deep_span("compile.featurize", variables=len(specs)):
             feature_stats = self._featurize_all(context, specs, builder)
@@ -163,6 +197,8 @@ class ModelCompiler:
 
         skipped = 0
         grounding: dict[str, int | str] = dict(feature_stats)
+        if self._vector_pruner is not None:
+            grounding.update(self._vector_pruner.stats)
         if config.use_dc_factors:
             skipped, factor_grounding = self._ground_factors(
                 graph, query_domains)
@@ -209,27 +245,33 @@ class ModelCompiler:
     # ------------------------------------------------------------------
     def _prune_domains(self, pruner: DomainPruner,
                        cells: list[Cell]) -> dict[Cell, list[str]]:
-        """Candidate domains for ``cells``, sharded when the backend can.
+        """Candidate domains for ``cells``, vectorized / sharded when possible.
 
-        Workers rebuild the pruner over their own engine statistics, so
-        dispatch is only sound when this compiler also prunes through
-        the shared engine statistics (the default wiring); any custom
-        ``stats`` keeps the serial path.  Output is byte-identical
-        either way: per-cell pruning is independent and results merge
-        back in cell order.
+        With the default wiring (engine statistics shared end to end and
+        ``vector_domains`` on) pruning runs set-at-a-time through
+        :class:`VectorDomainPruner` — sharded across worker processes
+        when the backend can fan out, serial otherwise.  Workers replay
+        the same vectorized kernel over their own engine, so dispatch is
+        only sound when this compiler also prunes through the shared
+        engine statistics; any custom ``stats`` (and
+        ``vector_domains=False``) keeps the naive per-cell oracle.
+        Output is byte-identical on every path: per-cell pruning is
+        independent and results merge back in cell order.
         """
+        vector = self._vector_pruner
+        if vector is None or pruner.stats is not self.stats:
+            return pruner.domains(cells)
         backend = self.engine.backend if self.engine is not None else None
         prune = getattr(backend, "prune_cells", None)
-        if (prune is not None and cells
-                and getattr(self.stats, "_engine", None) is self.engine
-                and pruner.stats is self.stats):
+        if prune is not None and cells:
             params = (pruner.tau, pruner.max_domain, pruner.strategy,
                       tuple(pruner.attributes))
             results = prune(list(cells), params)
             if results is not None:
+                vector.tally(len(cells), sum(len(d) for d in results))
                 return {cell: domain
                         for cell, domain in zip(cells, results) if domain}
-        return pruner.domains(cells)
+        return vector.domains(cells)
 
     # ------------------------------------------------------------------
     def _featurize_all(self, context: FeaturizationContext,
@@ -284,6 +326,65 @@ class ModelCompiler:
                 if mode in domain:
                     return domain.index(mode)
         return init_index
+
+    def _weak_labels(self, context: FeaturizationContext,
+                     specs: list[tuple[Cell, list[str]]],
+                     init_indices: list[int]) -> list[int]:
+        """Weak labels for every query cell, vectorized when possible.
+
+        The engine path replays :meth:`_weak_label` set-at-a-time: one
+        entity-key group-by over the column store, then one plurality
+        vote per (attribute, cell set) via :class:`EntityVoteModes`.
+        Without the engine (or without an entity key) the per-cell
+        oracle runs unchanged.
+        """
+        entity_attrs = list(self.config.source_entity_attributes)
+        if (context.source_attribute is None or not entity_attrs
+                or not specs):
+            return list(init_indices)
+        if self._vector_pruner is None:
+            return [self._weak_label(context, cell, domain, init_index)
+                    for (cell, domain), init_index in zip(specs,
+                                                          init_indices)]
+        if self._voter is None:
+            self._voter = EntityVoteModes(self.engine, entity_attrs)
+        labels = list(init_indices)
+        groups: dict[str, list[int]] = {}
+        for position, (cell, _) in enumerate(specs):
+            groups.setdefault(cell.attribute, []).append(position)
+        store = self.engine.store
+        for attribute, positions in groups.items():
+            tids = np.asarray([specs[p][0].tid for p in positions],
+                              dtype=np.int64)
+            modes = self._voter.modes(
+                attribute, tids, self._vector_pruner._lex_rank(attribute))
+            values = store.values(attribute)
+            for position, code in zip(positions, modes.tolist()):
+                if code < 0:
+                    continue
+                mode = values[code]
+                domain = specs[position][1]
+                if mode in domain:
+                    labels[position] = domain.index(mode)
+        return labels
+
+    def _evidence_negatives(self, cells: list[Cell],
+                            domains: list[list[str]]) -> list[list[str]]:
+        """Extend every evidence domain with negatives in one pass.
+
+        The engine path ranks each attribute's values once and merges
+        per-cell prefixes (:func:`merged_negative_domains`); the naive
+        per-cell :meth:`_with_negatives` walk stays the oracle.
+        """
+        wanted = self.config.evidence_negatives
+        if wanted <= 0 or not cells:
+            return domains
+        if self._vector_pruner is not None:
+            return merged_negative_domains(
+                self.engine, self.stats, cells, domains, wanted,
+                self.config.max_domain)
+        return [self._with_negatives(cell, domain)
+                for cell, domain in zip(cells, domains)]
 
     def _with_negatives(self, cell: Cell, domain: list[str]) -> list[str]:
         """Extend an evidence domain with frequent negative candidates.

@@ -132,6 +132,14 @@ class HoloCleanConfig:
     #: Results are byte-identical either way.
     parallel_workers: int = 0
 
+    #: Route Algorithm 2 domain pruning (and the compiler's weak-label /
+    #: evidence-negative scaffolding) through the set-at-a-time
+    #: :class:`~repro.core.vector_domain.VectorDomainPruner` when the
+    #: engine is on.  ``False`` keeps the per-cell naive oracle
+    #: (:class:`~repro.core.domain.DomainPruner`) even with the engine —
+    #: output is byte-identical either way.
+    vector_domains: bool = True
+
     # --- observability --------------------------------------------------------
     #: Trace-span verbosity of the telemetry subsystem (:mod:`repro.obs`):
     #: ``"stage"`` (default) records one span per pipeline stage —

@@ -264,21 +264,23 @@ def _task_block(state: _WorkerState, members, start: int, budget: int):
 
 
 def _task_prune(state: _WorkerState, cells, params):
+    # Workers replay the parent's set-at-a-time kernel (one vectorized
+    # pass per attribute group of the chunk), not per-cell DomainPruner
+    # clones — pruning a shard is the same computation as pruning the
+    # whole cell set restricted to it, so results merge byte-identically.
     if state.caches.get("pruner_params") != params:
-        from repro.core.domain import DomainPruner
+        from repro.core.vector_domain import VectorDomainPruner
 
         tau, max_domain, strategy, attributes = params
-        state.caches["pruner"] = DomainPruner(
-            state.dataset,
-            state.engine.statistics(),
+        state.caches["pruner"] = VectorDomainPruner(
+            state.engine,
             tau=tau,
             max_domain=max_domain,
             attributes=list(attributes),
             strategy=strategy,
         )
         state.caches["pruner_params"] = params
-    pruner = state.caches["pruner"]
-    return [pruner.candidates(cell) for cell in cells]
+    return state.caches["pruner"].prune(cells)
 
 
 def _task_factor(state: _WorkerState, ci: int, left, right):

@@ -30,6 +30,9 @@ class EngineStatistics(Statistics):
         self._code_counts: dict[str, np.ndarray] = {}
         #: (attr_a, attr_b) → (k, 3) [code_a, code_b, count] rows.
         self._joint_codes: dict[tuple[str, str], np.ndarray] = {}
+        #: (attr, given_attr) → CSR conditional lookup (see below).
+        self._conditional: dict[tuple[str, str],
+                                tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Code-space counts (shared by the Counter builders below and the
@@ -55,6 +58,29 @@ class EngineStatistics(Statistics):
         if cached is None:
             cached = self._engine.backend.pair_value_counts(attr_a, attr_b)
             self._joint_codes[key] = cached
+        return cached
+
+    def conditional_table(self, attr: str, given_attr: str,
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view of ``joint_code_counts`` keyed by the *given* code.
+
+        Returns ``(indptr, codes, counts)``: for a context code ``g`` of
+        ``given_attr``, the candidate codes of ``attr`` co-occurring with
+        it are ``codes[indptr[g]:indptr[g + 1]]`` with joint frequencies
+        in the matching ``counts`` slice — the code-space form of the
+        ``cooccurring_values`` dict that Algorithm 2's vectorized pruner
+        expands without any per-cell dict materialisation.
+        """
+        key = (attr, given_attr)
+        cached = self._conditional.get(key)
+        if cached is None:
+            rows = self.joint_code_counts(given_attr, attr)
+            cardinality = self._engine.store.cardinality(given_attr)
+            per_given = np.bincount(rows[:, 0], minlength=cardinality)
+            indptr = np.zeros(cardinality + 1, dtype=np.int64)
+            np.cumsum(per_given, out=indptr[1:])
+            cached = (indptr, rows[:, 1], rows[:, 2])
+            self._conditional[key] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -94,9 +120,11 @@ class EngineStatistics(Statistics):
                     index.setdefault(vb, {})[va] = n
             self._cooc_index[index_key] = index
         hit = index.get(given_value)
-        # Copy: the naive implementation returns a fresh dict per call and
-        # some callers treat it as their own.
-        return dict(hit) if hit is not None else {}
+        # Shared cache — callers must not mutate.  Every caller (the
+        # naive pruner, the co-occurrence featurizer, SCARE's candidate
+        # scan) only reads, so the per-call defensive copy the naive
+        # implementation implies is skipped on this hot path.
+        return hit if hit is not None else {}
 
     # ------------------------------------------------------------------
     def drop_caches(self) -> None:
@@ -105,6 +133,7 @@ class EngineStatistics(Statistics):
         self._cooc_index.clear()
         self._code_counts.clear()
         self._joint_codes.clear()
+        self._conditional.clear()
 
     def invalidate(self) -> None:
         """Drop caches and re-encode the store after dataset mutation."""

@@ -199,6 +199,26 @@ class FeatureMatrixBuilder:
             self._rows.append([])
         return vid
 
+    def start_variables(self, sizes: list[int]) -> int:
+        """Register a block of variables at once; returns the first id.
+
+        Equivalent to calling :meth:`start_variable` for each size in
+        order (ids are contiguous from the returned first id), letting
+        the compiler lay out a whole query / evidence block without one
+        Python call per variable.
+        """
+        sizes = [int(size) for size in sizes]
+        if any(size <= 0 for size in sizes):
+            raise ValueError("variables need at least one candidate")
+        first = len(self._var_sizes)
+        base = len(self._rows)
+        for size in sizes:
+            self._row_base.append(base)
+            base += size
+        self._var_sizes.extend(sizes)
+        self._rows.extend([] for _ in range(base - len(self._rows)))
+        return first
+
     def add(self, var: int, candidate: int, key, value: float) -> None:
         """Attach ``feature(key) = value`` to one candidate of a variable."""
         if not 0 <= candidate < self._var_sizes[var]:
@@ -278,17 +298,23 @@ class FeatureMatrixBuilder:
         layout sequential :meth:`add` calls produce.
         """
         rows_l, seqs_l, keys_l, vals_l = [], [], [], []
-        loop_entries = [(r, seq, idx, val)
-                        for r, row in enumerate(self._rows)
-                        for seq, idx, val in row]
-        if loop_entries:
-            arr = np.asarray([(r, s, k) for r, s, k, _ in loop_entries],
-                             dtype=np.int64)
-            rows_l.append(arr[:, 0])
-            seqs_l.append(arr[:, 1])
-            keys_l.append(arr[:, 2])
-            vals_l.append(np.asarray([v for *_ignored, v in loop_entries],
-                                     dtype=np.float64))
+        counts = [len(row) for row in self._rows]
+        total = sum(counts)
+        if total:
+            # Column-wise extraction: each array fills straight from a
+            # generator pass over the row lists, with no intermediate
+            # list-of-tuples materialisation.
+            rows_l.append(np.repeat(
+                np.arange(len(self._rows), dtype=np.int64), counts))
+            seqs_l.append(np.fromiter(
+                (entry[0] for row in self._rows for entry in row),
+                dtype=np.int64, count=total))
+            keys_l.append(np.fromiter(
+                (entry[1] for row in self._rows for entry in row),
+                dtype=np.int64, count=total))
+            vals_l.append(np.fromiter(
+                (entry[2] for row in self._rows for entry in row),
+                dtype=np.float64, count=total))
         for row_ids, seqs, key_idx, values in self._batches:
             rows_l.append(row_ids)
             seqs_l.append(seqs)

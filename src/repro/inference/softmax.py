@@ -219,11 +219,13 @@ class SoftmaxTrainer:
         starts = m.var_row_start
         var_arr = np.asarray(var_ids, dtype=np.int64)
         sizes = starts[var_arr + 1] - starts[var_arr]
-        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        comp_starts = np.zeros(len(var_arr) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=comp_starts[1:])
         rows = expand_ranges(starts[var_arr], sizes)
         scores = m.scores_for_rows(rows, weights)
+        # One segmented pass shared with the training loop — the slices
+        # below are disjoint views of the normalised score buffer.
+        probs = segment_softmax(scores, comp_starts)
         for k, v in enumerate(var_ids):
-            s = scores[offsets[k]:offsets[k] + sizes[k]]
-            e = np.exp(s - s.max())
-            out[v] = e / e.sum()
+            out[v] = probs[comp_starts[k]:comp_starts[k + 1]]
         return out

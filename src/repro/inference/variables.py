@@ -61,6 +61,30 @@ class VariableBlock:
         self._by_cell[cell] = info.vid
         return info
 
+    def add_block(self, cells: list[Cell], domains: list[list[str]],
+                  init_indices: list[int],
+                  is_evidence: bool) -> list[VariableInfo]:
+        """Register a whole block of variables; ids are assigned in order.
+
+        Equivalent to repeated :meth:`add` calls (same ids, same
+        duplicate check) without the per-cell call overhead — the
+        compiler registers each query / evidence block in one shot.
+        """
+        if not (len(cells) == len(domains) == len(init_indices)):
+            raise ValueError("add_block arguments must align")
+        base = len(self._vars)
+        infos: list[VariableInfo] = []
+        for offset, (cell, domain, init_index) in enumerate(
+                zip(cells, domains, init_indices)):
+            if cell in self._by_cell:
+                raise ValueError(f"duplicate variable for cell {cell}")
+            info = VariableInfo(base + offset, cell, domain, init_index,
+                                is_evidence)
+            infos.append(info)
+            self._by_cell[cell] = info.vid
+        self._vars.extend(infos)
+        return infos
+
     def __len__(self) -> int:
         return len(self._vars)
 

@@ -1,0 +1,258 @@
+"""Byte-equality of the vectorized Algorithm 2 path against its oracles.
+
+:class:`VectorDomainPruner` (plus the weak-label vote and evidence
+negative-merge helpers in ``core/vector_domain.py``) must reproduce the
+naive per-cell implementations *exactly* — same candidate sets, same
+ordering, same tie-breaks — on NULL-heavy data, score ties, ``max_domain``
+truncation displacing the observed value, the ``active`` strategy, and
+the empty-domain most-common fallback.  A full-pipeline test pins the
+``vector_domains`` knob end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HoloCleanConfig, RepairContext, RepairPlan
+from repro.core.compiler import ModelCompiler
+from repro.core.domain import DomainPruner
+from repro.core.featurize import FeaturizationContext
+from repro.core.vector_domain import (
+    EntityVoteModes,
+    VectorDomainPruner,
+    _lex_rank_table,
+    merged_negative_domains,
+)
+from repro.data.generators.flights import generate_flights
+from repro.data.generators.hospital import generate_hospital
+from repro.dataset.dataset import Cell, Dataset
+from repro.dataset.schema import Schema
+from repro.dataset.stats import Statistics
+from repro.detect.violations import ViolationDetector
+from repro.engine import Engine
+
+# Few distinct values over few attributes: ties, NULL-heavy tuples, and
+# shared co-occurrence structure are all likely under sampling.
+VALUE = st.sampled_from(["a", "b", "c", "10", "9", None])
+ROWS = st.lists(st.tuples(VALUE, VALUE, VALUE), min_size=1, max_size=24)
+
+
+def all_cells(dataset):
+    return [
+        Cell(tid, attr)
+        for tid in range(dataset.num_tuples)
+        for attr in dataset.schema.data_attributes
+    ]
+
+
+def naive_for(dataset, **knobs):
+    return DomainPruner(dataset, Statistics(dataset), **knobs)
+
+
+class TestByteEquality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=ROWS,
+        tau=st.sampled_from([0.0, 0.3, 0.5, 0.9, 1.0]),
+        max_domain=st.integers(min_value=1, max_value=5),
+        strategy=st.sampled_from(["cooccurrence", "active"]),
+    )
+    def test_matches_naive_oracle(self, rows, tau, max_domain, strategy):
+        dataset = Dataset(Schema(["A", "B", "C"]), [list(r) for r in rows])
+        naive = naive_for(dataset, tau=tau, max_domain=max_domain, strategy=strategy)
+        vector = VectorDomainPruner(
+            Engine(dataset),
+            tau=tau,
+            max_domain=max_domain,
+            strategy=strategy,
+        )
+        cells = all_cells(dataset)
+        assert vector.prune(cells) == [naive.candidates(c) for c in cells]
+        assert vector.domains(cells) == naive.domains(cells)
+
+    def test_score_ties_break_lexicographically(self):
+        # Pr[x|k] = Pr[y|k] = 1/3: the tie must break on the value string.
+        dataset = Dataset(Schema(["K", "V"]), [["k", "y"], ["k", "x"], ["k", None]])
+        naive = naive_for(dataset, tau=0.1)
+        vector = VectorDomainPruner(Engine(dataset), tau=0.1)
+        cell = Cell(2, "V")  # no init: only the tied conditionals remain
+        assert naive.candidates(cell) == ["x", "y"]
+        assert vector.candidates(cell) == ["x", "y"]
+        cell = Cell(0, "V")  # init "y" at 1.0 outranks the tie
+        expected = naive.candidates(cell)
+        assert expected == ["y", "x"]
+        assert vector.candidates(cell) == expected
+
+    def test_truncation_displacing_init(self):
+        rows = [["k", f"v{i}"] for i in range(10) for _ in range(2)]
+        rows.append(["k", "rare"])
+        dataset = Dataset(Schema(["K", "V"]), rows)
+        naive = naive_for(dataset, tau=0.0, max_domain=3)
+        vector = VectorDomainPruner(Engine(dataset), tau=0.0, max_domain=3)
+        cell = Cell(20, "V")  # "rare" ranks past the cut; forced back
+        expected = naive.candidates(cell)
+        assert len(expected) == 3 and "rare" in expected
+        assert vector.candidates(cell) == expected
+
+    def test_null_context_most_common_fallback(self):
+        dataset = Dataset(
+            Schema(["A", "B"]),
+            [["x", "common"], ["x", "common"], ["x", "rare"], [None, None]],
+        )
+        naive = naive_for(dataset, tau=0.5)
+        vector = VectorDomainPruner(Engine(dataset), tau=0.5)
+        cell = Cell(3, "B")  # no init, no context: most-common fallback
+        assert naive.candidates(cell) == ["common"]
+        assert vector.candidates(cell) == ["common"]
+
+    def test_fully_null_attribute_prunes_to_nothing(self):
+        dataset = Dataset(Schema(["A", "B"]), [["x", None], ["y", None]])
+        naive = naive_for(dataset, tau=0.5)
+        vector = VectorDomainPruner(Engine(dataset), tau=0.5)
+        cells = [Cell(0, "B"), Cell(1, "B")]
+        assert vector.prune(cells) == [naive.candidates(c) for c in cells]
+        assert vector.domains(cells) == {} == naive.domains(cells)
+
+    def test_active_strategy_generators(self):
+        for generated in (
+            generate_hospital(num_rows=80),
+            generate_flights(num_flights=5),
+        ):
+            dataset = generated.dirty
+            naive = naive_for(dataset, strategy="active", max_domain=6)
+            vector = VectorDomainPruner(
+                Engine(dataset),
+                strategy="active",
+                max_domain=6,
+            )
+            cells = all_cells(dataset)
+            assert vector.prune(cells) == [naive.candidates(c) for c in cells]
+
+    def test_unknown_strategy_rejected(self):
+        dataset = Dataset(Schema(["A"]), [["x"]])
+        with pytest.raises(ValueError, match="unknown domain strategy"):
+            VectorDomainPruner(Engine(dataset), strategy="oracle")
+
+    def test_prune_counters_accumulate(self):
+        generated = generate_hospital(num_rows=60)
+        vector = VectorDomainPruner(Engine(generated.dirty))
+        cells = all_cells(generated.dirty)[:40]
+        pruned = vector.prune(cells)
+        assert vector.stats["prune_path"] == "vector"
+        assert vector.stats["prune_cells"] == 40
+        assert vector.stats["prune_candidates"] == sum(len(d) for d in pruned)
+
+
+class TestWeakLabelVotes:
+    def test_modes_match_entity_group_plurality(self):
+        generated = generate_flights(num_flights=8)
+        dataset = generated.dirty
+        config = HoloCleanConfig(
+            tau=generated.recommended_tau,
+            source_entity_attributes=generated.source_entity_attributes,
+        )
+        engine = Engine(dataset)
+        context = FeaturizationContext(dataset, engine.statistics(), config)
+        voter = EntityVoteModes(engine, list(config.source_entity_attributes))
+        store = engine.store
+        for attr in dataset.schema.data_attributes:
+            tids = np.arange(dataset.num_tuples)
+            modes = voter.modes(attr, tids, _lex_rank_table(store.values(attr)))
+            values = store.values(attr)
+            index = dataset.schema.index_of(attr)
+            for tid, code in zip(tids.tolist(), modes.tolist()):
+                group = context.entity_group_of(int(tid))
+                expected = None
+                if len(group) >= 3:
+                    votes: dict[str, int] = {}
+                    for member in group:
+                        value = dataset.row_ref(member)[index]
+                        if value is not None:
+                            votes[value] = votes.get(value, 0) + 1
+                    if votes:
+                        expected = max(sorted(votes), key=lambda v: votes[v])
+                assert (values[code] if code >= 0 else None) == expected
+
+
+class TestNegativeMerge:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=ROWS,
+        wanted=st.integers(min_value=0, max_value=4),
+        max_domain=st.integers(min_value=1, max_value=6),
+    )
+    def test_matches_with_negatives(self, rows, wanted, max_domain):
+        dataset = Dataset(Schema(["A", "B", "C"]), [list(r) for r in rows])
+        engine = Engine(dataset)
+        stats = engine.statistics()
+        config = HoloCleanConfig(evidence_negatives=wanted, max_domain=max_domain)
+        compiler = ModelCompiler(
+            dataset,
+            [],
+            config,
+            ViolationDetector([]).detect(dataset),
+            engine=engine,
+        )
+        pruner = VectorDomainPruner(engine, tau=0.3, max_domain=max_domain)
+        cells = all_cells(dataset)
+        domains = pruner.prune(cells)
+        expected = [
+            compiler._with_negatives(cell, list(domain))
+            for cell, domain in zip(cells, domains)
+        ]
+        merged = merged_negative_domains(
+            engine,
+            stats,
+            cells,
+            [list(d) for d in domains],
+            wanted,
+            max_domain,
+        )
+        assert merged == expected
+
+
+class TestPipelineParity:
+    @pytest.fixture(scope="class")
+    def hospital(self):
+        return generate_hospital(num_rows=120)
+
+    def _run(self, generated, **knobs):
+        context = RepairContext(
+            generated.dirty.copy(name="hospital"),
+            list(generated.constraints),
+            HoloCleanConfig(tau=generated.recommended_tau, **knobs),
+        )
+        context = RepairPlan.default().run(context)
+        try:
+            snapshot = (
+                [
+                    (cell, inf.chosen_value, tuple(inf.domain), inf.marginal.tobytes())
+                    for cell, inf in context.result.inferences.items()
+                ],
+                context.result.repaired._rows,
+            )
+            return snapshot, context.model.size_report()
+        finally:
+            if context.engine is not None:
+                context.engine.close()
+
+    def test_vector_domains_off_is_byte_identical(self, hospital):
+        vector, vector_report = self._run(hospital)
+        naive, naive_report = self._run(hospital, vector_domains=False)
+        assert vector == naive
+        assert vector_report["grounding_prune_path"] == "vector"
+        assert vector_report["grounding_prune_cells"] > 0
+        assert vector_report["grounding_prune_candidates"] > 0
+        assert "grounding_prune_path" not in naive_report
+
+    def test_parallel_workers_share_prune_counters(self, hospital):
+        serial, serial_report = self._run(hospital)
+        parallel, parallel_report = self._run(hospital, parallel_workers=2)
+        assert parallel == serial
+        for key in (
+            "grounding_prune_path",
+            "grounding_prune_cells",
+            "grounding_prune_candidates",
+        ):
+            assert parallel_report[key] == serial_report[key]
