@@ -30,6 +30,7 @@ bench-ci:
 	$(PYTHON) benchmarks/bench_featurization.py
 	$(PYTHON) benchmarks/bench_domain_pruning.py
 	$(PYTHON) benchmarks/bench_pipeline.py
+	$(PYTHON) benchmarks/bench_serving.py
 	$(PYTHON) benchmarks/check_regression.py
 
 clean:

@@ -1,0 +1,228 @@
+"""Serving benchmark: cold vs warm repair latency over the HTTP API.
+
+The serving subsystem (:mod:`repro.serve`) exists for one number: how
+much of a repair's cost the warm session store amortizes away.  This
+bench stands up a real :class:`~repro.serve.server.RepairServer` on an
+ephemeral port and measures client-side wall time per ``POST /repair``:
+
+* **cold** — the session (and its checkpoint) is purged via
+  ``DELETE /sessions/{sid}?checkpoint=0`` before each request, so every
+  repair pays detect + compile + learn + infer + apply.
+* **warm** — the same request replayed against the resident session;
+  detect/compile skip, only the learning half runs.
+
+Two in-run assertions gate the results before anything is published:
+the warm p50 speedup must be at least :data:`REQUIRED_SPEEDUP` (the
+serving pledge, pinned in ``baselines.json``), and a session evicted to
+its checkpoint must rehydrate with byte-identical marginals.
+
+Baselines pin ``warm_speedup`` (a ratio, stable across machines); the
+absolute p50/p99 latencies land in ``metrics`` for trend-watching and
+in the text report.  ``BENCH_SERVING_ROWS`` resizes the Hospital
+workload (default 1,000); ``BENCH_SERVING_COLD`` / ``BENCH_SERVING_WARM``
+set the per-phase request counts (defaults 3 / 15);
+``BENCH_SERVING_EPOCHS`` the per-request learning budget (default 10).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # plain `python benchmarks/...` from a checkout
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _common import fmt, publish, publish_json
+
+from repro.constraints.parser import format_dc
+from repro.core.config import HoloCleanConfig
+from repro.data.generators.hospital import generate_hospital
+from repro.serve.server import RepairServer
+from repro.serve.service import RepairService
+
+ROWS = int(os.environ.get("BENCH_SERVING_ROWS", 1_000))
+COLD_REQUESTS = int(os.environ.get("BENCH_SERVING_COLD", 3))
+WARM_REQUESTS = int(os.environ.get("BENCH_SERVING_WARM", 15))
+EPOCHS = int(os.environ.get("BENCH_SERVING_EPOCHS", 10))
+
+#: The serving pledge: a warm repair at least this many times faster
+#: than a cold one at p50.  Asserted in-run and pinned in baselines.
+REQUIRED_SPEEDUP = 5.0
+
+
+async def _request(port: int, method: str, path: str, body=None):
+    """Minimal HTTP/1.1 exchange; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: bench\r\nContent-Length: {len(payload)}\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        response = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body_bytes = response.partition(b"\r\n\r\n")
+    status = int(head.decode().split("\r\n")[0].split(" ")[1])
+    return status, json.loads(body_bytes)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _payload(generated) -> dict:
+    dirty = generated.dirty
+    return {
+        "dataset": {
+            "name": dirty.name,
+            "columns": list(dirty.schema.names),
+            "rows": [list(dirty.row_ref(t)) for t in range(dirty.num_tuples)],
+        },
+        "constraints": [format_dc(dc) for dc in generated.constraints],
+        # A fixed, modest learning budget: the bench contrasts the
+        # grounding cost (cold) with the re-entry cost (warm), so the
+        # epoch count only needs to be deterministic, not accurate.
+        "config": {"tau": 0.5, "seed": 7, "epochs": EPOCHS},
+    }
+
+
+async def _drive(server: RepairServer, payload: dict) -> dict:
+    """The whole measurement scenario against one live server."""
+    loop = asyncio.get_running_loop()
+
+    async def timed_repair() -> tuple[float, dict]:
+        started = loop.time()
+        status, body = await _request(server.port, "POST", "/repair", payload)
+        assert status == 200, f"repair failed: {body}"
+        return loop.time() - started, body
+
+    # -- cold: purge session + checkpoint between requests ------------
+    cold_times, sid, repairs = [], None, None
+    for _ in range(COLD_REQUESTS):
+        elapsed, body = await timed_repair()
+        assert body["path"] == "cold", f"expected cold, got {body['path']}"
+        cold_times.append(elapsed)
+        sid, repairs = body["session"], body["repairs"]
+        await _request(server.port, "DELETE", f"/sessions/{sid}?checkpoint=0")
+
+    # -- warm: one priming request, then the measured replays ---------
+    _, primed = await timed_repair()
+    assert primed["path"] == "cold"
+    warm_times = []
+    for _ in range(WARM_REQUESTS):
+        elapsed, body = await timed_repair()
+        assert body["path"] == "warm", f"expected warm, got {body['path']}"
+        assert body["repairs"] == repairs, "warm run changed the repairs"
+        warm_times.append(elapsed)
+
+    # -- rehydration: evict to checkpoint, must come back identical ---
+    _, before = await _request(server.port, "GET", f"/sessions/{sid}/marginals")
+    status, _ = await _request(server.port, "DELETE", f"/sessions/{sid}")
+    assert status == 200
+    rehydrate_started = loop.time()
+    _, body = await _request(server.port, "POST", "/repair", payload)
+    rehydrated_s = loop.time() - rehydrate_started
+    assert body["path"] == "rehydrated", f"expected rehydrated, got {body['path']}"
+    _, after = await _request(server.port, "GET", f"/sessions/{sid}/marginals")
+    assert after["cells"] == before["cells"], (
+        "rehydrated session's marginals differ from the evicted session's")
+
+    _, health = await _request(server.port, "GET", "/healthz")
+    return {
+        "cold_times": cold_times,
+        "warm_times": warm_times,
+        "rehydrated_s": rehydrated_s,
+        "noisy_cells": len(before["cells"]),
+        "repairs": len(repairs),
+        "sessions": health["sessions"],
+    }
+
+
+def run_bench() -> dict:
+    generated = generate_hospital(num_rows=ROWS)
+    payload = _payload(generated)
+
+    async def scenario() -> dict:
+        with tempfile.TemporaryDirectory(prefix="bench-serving-") as ckpt:
+            service = RepairService(
+                HoloCleanConfig(serve_workers=0, serve_checkpoint_dir=ckpt)
+            )
+            server = RepairServer(service, port=0)
+            await server.start()
+            try:
+                return await _drive(server, payload)
+            finally:
+                await server.stop()
+
+    outcome = asyncio.run(scenario())
+
+    cold_p50 = _percentile(outcome["cold_times"], 0.50)
+    cold_p99 = _percentile(outcome["cold_times"], 0.99)
+    warm_p50 = _percentile(outcome["warm_times"], 0.50)
+    warm_p99 = _percentile(outcome["warm_times"], 0.99)
+    speedup = cold_p50 / max(warm_p50, 1e-9)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm speedup {speedup:.1f}x below the {REQUIRED_SPEEDUP:.0f}x pledge "
+        f"(cold p50 {cold_p50:.3f}s, warm p50 {warm_p50:.3f}s)")
+
+    metrics = {
+        "warm_speedup": speedup,
+        "cold_p50_s": cold_p50,
+        "cold_p99_s": cold_p99,
+        "warm_p50_s": warm_p50,
+        "warm_p99_s": warm_p99,
+        "rehydrated_s": outcome["rehydrated_s"],
+    }
+    meta = {
+        "rows": generated.dirty.num_tuples,
+        "noisy_cells": outcome["noisy_cells"],
+        "repairs": outcome["repairs"],
+        "cold_requests": COLD_REQUESTS,
+        "warm_requests": WARM_REQUESTS,
+        "epochs": EPOCHS,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "workers": 0,  # inline execution: the measured cost is the plan's
+    }
+
+    lines = [
+        f"Hospital {meta['rows']} tuples · {outcome['noisy_cells']} noisy "
+        f"cells · {outcome['repairs']} repairs per request",
+        "",
+        f"{'path':<12} {'n':>3} {'p50 s':>9} {'p99 s':>9}",
+        f"{'cold':<12} {COLD_REQUESTS:>3} {fmt(cold_p50, 9)} {fmt(cold_p99, 9)}",
+        f"{'warm':<12} {WARM_REQUESTS:>3} {fmt(warm_p50, 9)} {fmt(warm_p99, 9)}",
+        f"{'rehydrated':<12} {1:>3} {fmt(outcome['rehydrated_s'], 9)}",
+        "",
+        f"warm speedup: {speedup:.1f}x (pledge: >= {REQUIRED_SPEEDUP:.0f}x) · "
+        f"rehydrated marginals byte-identical",
+    ]
+    publish("serving", "\n".join(lines))
+    publish_json("serving", metrics=metrics, meta=meta)
+    return metrics
+
+
+def test_serving_warm_speedup():
+    metrics = run_bench()
+    assert metrics["warm_speedup"] >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(
+        f"cold p50 {result['cold_p50_s']:.3f}s · warm p50 "
+        f"{result['warm_p50_s']:.3f}s · speedup {result['warm_speedup']:.1f}x"
+    )

@@ -23,6 +23,8 @@ import ast
 from repro.analysis.base import AnalysisContext, Checker, Finding, call_name
 
 #: Pool dispatch methods whose first positional argument is pickled.
+#: ``submit`` covers ``concurrent.futures`` executors (the serving
+#: subsystem ships cold repair jobs through a ``ProcessPoolExecutor``).
 POOL_METHODS = {
     "map",
     "map_async",
@@ -32,6 +34,7 @@ POOL_METHODS = {
     "starmap_async",
     "apply",
     "apply_async",
+    "submit",
 }
 
 
@@ -66,7 +69,10 @@ class ParallelSafetyChecker(Checker):
     def check(self, ctx: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for module in ctx.modules:
-            if "multiprocessing" not in module.text:
+            if (
+                "multiprocessing" not in module.text
+                and "concurrent.futures" not in module.text
+            ):
                 continue
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Call):

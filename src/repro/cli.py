@@ -19,7 +19,8 @@ flag is omitted).
 (see :mod:`repro.bench`); ``python -m repro trace report.json`` renders
 a saved run report as a text flamegraph; ``python -m repro lint``
 runs the repo-specific invariant linter (see :mod:`repro.analysis` and
-``docs/static_analysis.md``).
+``docs/static_analysis.md``); ``python -m repro serve`` runs the HTTP
+repair service (see :mod:`repro.serve` and ``docs/serving.md``).
 
 Repairs execute through the staged plan of :mod:`repro.core.stages`
 (Detect → Compile → Learn → Infer → Apply), the same path as the
@@ -143,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(verbosity_from(args))
 

@@ -12,6 +12,7 @@ the evidence labels for weight learning.
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -66,6 +67,26 @@ class CompiledModel:
         for key, value in self.grounding.items():
             report[f"grounding_{key}"] = value
         return report
+
+    def content_fingerprint(self) -> str:
+        """A stable short hash of the grounded model's content.
+
+        Folds the dataset the model was compiled against with the
+        grounded shape (the full :meth:`size_report` plus evidence and
+        query counts).  The serving checkpoint layer stamps this into
+        checkpoint metadata and verifies it on rehydration, so a
+        checkpoint written for one model cannot silently resurrect
+        another.
+        """
+        from repro.obs.fingerprint import combine_fingerprints, dataset_fingerprint
+
+        shape = json.dumps(self.size_report(), sort_keys=True, default=str)
+        return combine_fingerprints(
+            dataset_fingerprint(self.relations.dataset),
+            shape,
+            str(len(self.evidence_ids)),
+            str(len(self.query_ids)),
+        )
 
 
 class ModelCompiler:

@@ -156,6 +156,33 @@ class HoloCleanConfig:
     #: turns it on to publish per-stage memory.
     trace_memory: bool = False
 
+    # --- serving (repro serve) ----------------------------------------------
+    #: Capacity of the serving layer's LRU session store: how many warm
+    #: :class:`~repro.core.stages.RepairContext`\ s are retained in
+    #: memory before the least-recently-used one is checkpointed (when a
+    #: checkpoint directory is configured) and evicted.
+    serve_max_sessions: int = 16
+
+    #: Worker processes of the serving job pool.  Cold repairs (full
+    #: detect→apply runs) execute on a bounded ``ProcessPoolExecutor``
+    #: of this size; ``0`` runs every job inline in the request thread
+    #: (no pool — the mode used by tests and single-tenant setups).
+    serve_workers: int = 2
+
+    #: Directory for per-stage session checkpoints; ``None`` (default)
+    #: disables checkpointing, so evicted sessions pay a full cold run
+    #: on their next request instead of rehydrating.
+    serve_checkpoint_dir: str | None = None
+
+    #: Queued jobs tolerated beyond the in-flight worker capacity
+    #: before the service sheds load (HTTP 429 + Retry-After).
+    serve_queue_depth: int = 8
+
+    #: Per-job wall-clock budget (seconds) enforced by the HTTP server;
+    #: jobs exceeding it are cancelled and reported as HTTP 504.
+    #: ``0`` disables the timeout.
+    serve_job_timeout: float = 300.0
+
     # --- learning -----------------------------------------------------------
     epochs: int = 60
     learning_rate: float = 0.1
@@ -202,6 +229,19 @@ class HoloCleanConfig:
             raise ValueError("factor_chunk_pairs must be at least 1")
         if self.factor_stream_budget < 1:
             raise ValueError("factor_stream_budget must be at least 1")
+        if self.serve_max_sessions < 1:
+            raise ValueError(
+                f"serve_max_sessions must be at least 1, got "
+                f"{self.serve_max_sessions}")
+        if self.serve_workers < 0:
+            raise ValueError(
+                f"serve_workers must be >= 0, got {self.serve_workers}")
+        if self.serve_queue_depth < 0:
+            raise ValueError(
+                f"serve_queue_depth must be >= 0, got {self.serve_queue_depth}")
+        if self.serve_job_timeout < 0:
+            raise ValueError(
+                f"serve_job_timeout must be >= 0, got {self.serve_job_timeout}")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -63,6 +63,33 @@ class RepairSession:
         self._last_result: RepairResult | None = None
 
     # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_context(cls, ctx: RepairContext) -> "RepairSession":
+        """Wrap an existing context — e.g. one rehydrated from a
+        serving checkpoint (:mod:`repro.serve.checkpoint`).
+
+        The session adopts the context's inputs, artifacts, and
+        accumulated feedback as-is, so :meth:`rerun` re-enters the
+        staged plan at ``learn`` without repeating detect/compile, and
+        :meth:`feedback` keeps validating cells against the retained
+        compiled model.
+        """
+        session = cls(
+            ctx.dataset,
+            ctx.constraints,
+            config=ctx.config,
+            dictionaries=ctx.dictionaries,
+            matching_dependencies=ctx.matching_dependencies,
+            extra_detectors=ctx.extra_detectors,
+        )
+        session._ctx = ctx
+        session._feedback = dict(ctx.feedback)
+        session._last_result = ctx.result
+        return session
+
+    # ------------------------------------------------------------------
     # Pipeline
     # ------------------------------------------------------------------
     def run(self) -> RepairResult:

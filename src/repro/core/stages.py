@@ -71,9 +71,35 @@ from repro.external.dictionary import ExternalDictionary
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.softmax import SoftmaxTrainer, TrainingResult
 from repro.obs import MetricsRegistry, Tracer, build_run_report
+from repro.obs.fingerprint import (
+    combine_fingerprints,
+    config_fingerprint,
+    constraints_fingerprint,
+    dataset_fingerprint,
+)
 
 #: Stage names of the default plan, in pipeline order.
 STAGE_ORDER = ("detect", "compile", "learn", "infer", "apply")
+
+#: Context artifact → human-readable description, used by
+#: :meth:`RepairPlan.run` to name exactly what a partial re-entry is
+#: missing (e.g. ``starting_at("learn")`` with no compiled model).
+ARTIFACT_LABELS = {
+    "detection": "DetectionResult",
+    "model": "CompiledModel",
+    "weights": "learned weights",
+    "marginals": "inferred marginals",
+    "result": "RepairResult",
+}
+
+#: Context artifact → the stage of the default plan that produces it.
+ARTIFACT_PRODUCERS = {
+    "detection": "detect",
+    "model": "compile",
+    "weights": "learn",
+    "marginals": "infer",
+    "result": "apply",
+}
 
 
 @dataclass
@@ -164,6 +190,34 @@ class RepairContext:
             return nullcontext(None)
         return tracer.span(name, **attributes)
 
+    def fingerprints(self) -> dict[str, str]:
+        """Content hashes of the repair's inputs.
+
+        ``dataset`` and ``constraints`` identify *what* is being
+        repaired (the serving session key); ``config`` identifies *how*
+        (the same fingerprint stamped on every
+        :class:`~repro.obs.report.RunReport`).  Stable across processes
+        and object identities — two contexts built from equal inputs
+        fingerprint identically.
+        """
+        return {
+            "dataset": dataset_fingerprint(self.dataset),
+            "constraints": constraints_fingerprint(self.constraints),
+            "config": config_fingerprint(self.config),
+        }
+
+    def content_fingerprint(self) -> str:
+        """One stable token for (dataset, constraints, config).
+
+        Shared by the serving session store and checkpoint filenames
+        (:mod:`repro.serve`); see :meth:`fingerprints` for the
+        components.
+        """
+        parts = self.fingerprints()
+        return combine_fingerprints(
+            parts["dataset"], parts["constraints"], parts["config"]
+        )
+
     def phase_timings(self) -> dict[str, float]:
         """Stage timings folded into the paper's three reported phases."""
         repair = sum(
@@ -222,9 +276,19 @@ class Stage:
     is skipped entirely: any previously recorded timing stays intact,
     no timing is fabricated, and ``ctx.stage_status`` records
     ``"skipped"`` so a skip is distinguishable from an instant run.
+
+    :attr:`requires` / :attr:`provides` declare the context artifacts a
+    stage consumes and produces (by ``RepairContext`` field name);
+    :meth:`RepairPlan.run` validates them up front so a partial
+    re-entry with a missing prerequisite fails with a ``ValueError``
+    naming the artifact instead of failing deep inside the stage.
     """
 
     name: str = "stage"
+    #: Context artifacts that must be present before this stage runs.
+    requires: tuple[str, ...] = ()
+    #: Context artifacts this stage fills in.
+    provides: tuple[str, ...] = ()
 
     def run(self, ctx: RepairContext) -> RepairContext:
         if not self.should_run(ctx):
@@ -259,6 +323,7 @@ class DetectStage(Stage):
     """
 
     name = "detect"
+    provides = ("detection",)
 
     def should_run(self, ctx: RepairContext) -> bool:
         return ctx.detection is None
@@ -283,6 +348,8 @@ class CompileStage(Stage):
     """
 
     name = "compile"
+    requires = ("detection",)
+    provides = ("model",)
 
     def should_run(self, ctx: RepairContext) -> bool:
         return ctx.model is None
@@ -318,6 +385,8 @@ class LearnStage(Stage):
     """Weight learning: ERM over evidence cells plus feedback evidence."""
 
     name = "learn"
+    requires = ("model",)
+    provides = ("weights",)
 
     def execute(self, ctx: RepairContext) -> RepairContext:
         if ctx.model is None:
@@ -384,6 +453,8 @@ class InferStage(Stage):
     """Marginal inference: exact softmax, or Gibbs when factors exist."""
 
     name = "infer"
+    requires = ("model", "weights")
+    provides = ("marginals",)
 
     def execute(self, ctx: RepairContext) -> RepairContext:
         if ctx.model is None or ctx.weights is None:
@@ -419,6 +490,8 @@ class ApplyStage(Stage):
     """
 
     name = "apply"
+    requires = ("model", "marginals")
+    provides = ("result",)
 
     def run(self, ctx: RepairContext) -> RepairContext:
         ctx = super().run(ctx)
@@ -513,13 +586,65 @@ class RepairPlan:
         return [stage.name for stage in self.stages]
 
     def starting_at(self, name: str) -> "RepairPlan":
-        """The sub-plan from the named stage onward."""
+        """The sub-plan from the named stage onward.
+
+        The slice itself cannot know whether the context it will later
+        receive carries the artifacts the skipped prefix would have
+        produced, so the prerequisite check happens in :meth:`run`:
+        running the sub-plan on a context that is missing one (e.g.
+        re-entering at ``learn`` with no compiled model) raises a
+        ``ValueError`` naming the missing artifact before any stage
+        executes.
+        """
         names = self.stage_names
         if name not in names:
             raise ValueError(f"no stage named {name!r}; plan has {names}")
         return RepairPlan(self.stages[names.index(name) :])
 
+    def missing_requirements(self, ctx: RepairContext) -> list[tuple[str, str]]:
+        """``(stage name, artifact)`` pairs this run would find absent.
+
+        Walks the plan in order, tracking which artifacts are already on
+        the context and which each non-skipping stage will produce, so a
+        requirement satisfied by an *earlier stage of this same plan*
+        does not count as missing.
+        """
+        available = {
+            artifact
+            for artifact in ARTIFACT_LABELS
+            if getattr(ctx, artifact, None) is not None
+        }
+        missing: list[tuple[str, str]] = []
+        for stage in self.stages:
+            if not stage.should_run(ctx):
+                continue
+            for artifact in stage.requires:
+                if artifact not in available:
+                    missing.append((stage.name, artifact))
+            available.update(stage.provides)
+        return missing
+
+    def validate(self, ctx: RepairContext) -> None:
+        """Raise ``ValueError`` if the context cannot support this plan.
+
+        This is the error surface partial re-entry rests on: the serving
+        layer maps it to a client error (HTTP 400), distinct from a
+        failure inside a stage (HTTP 500).
+        """
+        missing = self.missing_requirements(ctx)
+        if missing:
+            stage_name, artifact = missing[0]
+            producer = ARTIFACT_PRODUCERS[artifact]
+            raise ValueError(
+                f"cannot run stage {stage_name!r}: context has no "
+                f"{ARTIFACT_LABELS[artifact]} (ctx.{artifact} is None) — "
+                f"run the {producer!r} stage first, e.g. "
+                f"RepairPlan.default().starting_at({producer!r}), or "
+                f"rehydrate the context from a checkpoint"
+            )
+
     def run(self, ctx: RepairContext) -> RepairContext:
+        self.validate(ctx)
         for stage in self.stages:
             ctx = stage.run(ctx)
         return ctx

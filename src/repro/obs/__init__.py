@@ -14,6 +14,9 @@ The telemetry subsystem threaded through the staged API
   bundle (trace + metrics + config fingerprint + dataset shape)
   attached to every :class:`~repro.core.repair.RepairResult` and
   rendered by ``repro trace``.
+* :mod:`~repro.obs.fingerprint` — stable content hashes of datasets,
+  constraint sets, and configs, shared by run reports, the serving
+  session store, and checkpoint filenames.
 * :mod:`~repro.obs.logging` — the ``repro.*`` structured logger used by
   the CLIs.
 
@@ -23,6 +26,12 @@ The package imports nothing from :mod:`repro.core` or
 
 from __future__ import annotations
 
+from repro.obs.fingerprint import (
+    combine_fingerprints,
+    config_fingerprint,
+    constraints_fingerprint,
+    dataset_fingerprint,
+)
 from repro.obs.logging import (
     add_verbosity_flags,
     configure,
@@ -30,7 +39,7 @@ from repro.obs.logging import (
     verbosity_from,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.report import RunReport, build_run_report, config_fingerprint
+from repro.obs.report import RunReport, build_run_report
 from repro.obs.trace import (
     TRACE_LEVELS,
     Span,
@@ -49,8 +58,11 @@ __all__ = [
     "active_tracer",
     "add_verbosity_flags",
     "build_run_report",
+    "combine_fingerprints",
     "config_fingerprint",
     "configure",
+    "constraints_fingerprint",
+    "dataset_fingerprint",
     "deep_enabled",
     "deep_span",
     "get_logger",

@@ -1,0 +1,86 @@
+"""Stable content fingerprints for datasets, constraint sets, and configs.
+
+The serving layer (:mod:`repro.serve`) identifies a repair session by
+*what is being repaired* — the dataset contents and the constraint set —
+so that two requests carrying the same problem land on the same warm
+:class:`~repro.core.stages.RepairContext` regardless of who sent them.
+The same hashes name checkpoint directories on disk and stamp every
+:class:`~repro.obs.report.RunReport`, so one token compares a report, a
+session, and a checkpoint.
+
+All fingerprints are the first 12 hex digits of a SHA-256 digest:
+short enough to read in a log line, long enough that collisions are
+not a practical concern at session-store scale.
+
+Like the rest of :mod:`repro.obs`, everything here is duck-typed —
+this module imports nothing from :mod:`repro.core` or
+:mod:`repro.dataset` (no cycles: every layer may depend on ``obs``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+#: Hex digits kept from each SHA-256 digest.
+FINGERPRINT_HEX = 12
+
+
+def config_fingerprint(config) -> str:
+    """A stable short hash of a configuration.
+
+    Accepts a dataclass (e.g. ``HoloCleanConfig``) or a plain mapping;
+    the fingerprint is the first 12 hex digits of the SHA-256 of the
+    sorted JSON encoding, so two runs compare configs by equality of one
+    token.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = dict(config or {})
+    encoded = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:FINGERPRINT_HEX]
+
+
+def dataset_fingerprint(dataset) -> str:
+    """A content hash of a dataset: schema plus every cell value.
+
+    Duck-typed over :class:`~repro.dataset.dataset.Dataset` (needs
+    ``schema.names``, ``num_tuples``, and ``row_ref``).  The dataset's
+    *name* is deliberately excluded — two uploads of the same rows under
+    different names are the same repair problem and should share a warm
+    session.  ``None`` cells hash distinctly from the string ``"None"``.
+    """
+    digest = hashlib.sha256()
+    names = tuple(getattr(dataset.schema, "names", ()))
+    digest.update(json.dumps(names).encode("utf-8"))
+    for tid in range(dataset.num_tuples):
+        row = dataset.row_ref(tid)
+        digest.update(json.dumps(row).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_HEX]
+
+
+def constraints_fingerprint(constraints) -> str:
+    """A content hash of an ordered constraint set.
+
+    Each constraint contributes its textual form (``str(dc)``), one per
+    line, so the hash is independent of object identity and survives a
+    parse → format → parse round-trip.  Order matters: constraint order
+    is part of the grounding order and therefore of the problem.
+    """
+    digest = hashlib.sha256()
+    for dc in constraints:
+        digest.update(str(dc).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:FINGERPRINT_HEX]
+
+
+def combine_fingerprints(*parts: str) -> str:
+    """Fold component fingerprints into one stable identifier.
+
+    Used for session ids (dataset + constraint-set hashes) and full
+    context fingerprints (dataset + constraints + config).
+    """
+    digest = hashlib.sha256(":".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_HEX]

@@ -16,32 +16,18 @@ so this module imports nothing from :mod:`repro.core` (no cycles:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.fingerprint import config_fingerprint
 from repro.obs.trace import Span
+
+__all__ = ["RunReport", "build_run_report", "config_fingerprint"]
 
 #: Character budget of the flamegraph bar column in :meth:`render_text`.
 _BAR_WIDTH = 24
-
-
-def config_fingerprint(config) -> str:
-    """A stable short hash of a configuration.
-
-    Accepts a dataclass (e.g. ``HoloCleanConfig``) or a plain mapping;
-    the fingerprint is the first 12 hex digits of the SHA-256 of the
-    sorted JSON encoding, so two runs compare configs by equality of one
-    token.
-    """
-    if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        payload = dataclasses.asdict(config)
-    else:
-        payload = dict(config or {})
-    encoded = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:12]
 
 
 @dataclass

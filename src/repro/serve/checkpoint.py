@@ -1,0 +1,215 @@
+"""Per-stage session checkpoints: repair state that survives eviction.
+
+A checkpoint captures everything needed to rebuild a warm
+:class:`~repro.core.stages.RepairContext` except the two members that
+are cheap to rebuild and impossible to pickle — the grounding
+:class:`~repro.engine.Engine` (memory-mapped columnar state, rebuilt
+lazily by ``ctx.ensure_engine()``) and the
+:class:`~repro.obs.trace.Tracer` (live spans).  Everything else is
+plain Python + NumPy and round-trips through :mod:`pickle` exactly,
+which is what makes rehydrated sessions *marginal-identical* to the
+in-memory session they were serialized from.
+
+On-disk layout, one directory per session id::
+
+    <root>/<sid>/
+        meta.json     format version, content fingerprints, stage list
+        inputs.pkl    dataset, constraints, config, feedback, dictionaries
+        detect.pkl    DetectionResult
+        compile.pkl   CompiledModel
+        learn.pkl     learned weights + training losses
+        infer.pkl     marginals
+
+Stage files are written only for artifacts present on the context, so
+a session checkpointed mid-pipeline rehydrates mid-pipeline and the
+staged plan resumes from exactly where it stopped.  Writes go to a
+temporary sibling directory first and are swapped in with a rename,
+so a crash mid-save leaves the previous checkpoint intact.
+
+Rehydration is verified: the loaded context's content fingerprints
+must match the ones stamped at save time, and a loaded
+:class:`~repro.core.compiler.CompiledModel` must reproduce its saved
+:meth:`~repro.core.compiler.CompiledModel.content_fingerprint` — a
+checkpoint written for one problem cannot silently resurrect another.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+
+from repro.core.stages import RepairContext
+from repro.obs import get_logger
+
+log = get_logger("serve.checkpoint")
+
+#: Bump when the on-disk layout changes; mismatched checkpoints are
+#: rejected (the session simply pays a cold run).
+FORMAT_VERSION = 1
+
+#: Stage name → the context artifacts serialized in that stage's file.
+STAGE_ARTIFACTS = (
+    ("detect", ("detection",)),
+    ("compile", ("model",)),
+    ("learn", ("weights", "losses")),
+    ("infer", ("marginals",)),
+)
+
+#: Context input fields serialized together in ``inputs.pkl``.
+INPUT_FIELDS = (
+    "dataset",
+    "constraints",
+    "config",
+    "dictionaries",
+    "matching_dependencies",
+    "extra_detectors",
+    "feedback",
+)
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or verified."""
+
+
+class CheckpointStore:
+    """Reads and writes session checkpoints under one root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path(self, sid: str) -> Path:
+        return self.root / sid
+
+    def has(self, sid: str) -> bool:
+        return (self.path(sid) / "meta.json").is_file()
+
+    def session_ids(self) -> list[str]:
+        """Ids of every checkpoint present on disk, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / "meta.json").is_file()
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, sid: str, ctx: RepairContext) -> Path:
+        """Serialize the context's inputs and per-stage artifacts.
+
+        Atomic at directory granularity: readers either see the old
+        checkpoint or the complete new one, never a half-written mix.
+        """
+        final = self.path(sid)
+        tmp = self.root / f".{sid}.tmp-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            stages: list[str] = []
+            inputs = {name: getattr(ctx, name) for name in INPUT_FIELDS}
+            self._dump(tmp / "inputs.pkl", inputs)
+            for stage, artifacts in STAGE_ARTIFACTS:
+                payload = {name: getattr(ctx, name) for name in artifacts}
+                if payload[artifacts[0]] is None:
+                    continue
+                self._dump(tmp / f"{stage}.pkl", payload)
+                stages.append(stage)
+            meta = {
+                "version": FORMAT_VERSION,
+                "sid": sid,
+                "fingerprints": ctx.fingerprints(),
+                "model": (
+                    ctx.model.content_fingerprint() if ctx.model is not None else None
+                ),
+                "stages": stages,
+            }
+            (tmp / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+            if final.exists():
+                shutil.rmtree(final)
+            tmp.rename(final)
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return final
+
+    def load(self, sid: str) -> RepairContext | None:
+        """Rebuild a context from its checkpoint (``None`` if absent).
+
+        The engine and tracer come back ``None`` and are rebuilt lazily
+        on first use; everything else — including accumulated feedback —
+        is restored exactly as saved.
+        """
+        directory = self.path(sid)
+        meta_path = directory / "meta.json"
+        if not meta_path.is_file():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable checkpoint meta {meta_path}: {exc}")
+        if meta.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {sid} has format version {meta.get('version')!r}, "
+                f"expected {FORMAT_VERSION}"
+            )
+        inputs = self._load(directory / "inputs.pkl")
+        ctx = RepairContext(**inputs)
+        for stage, artifacts in STAGE_ARTIFACTS:
+            stage_path = directory / f"{stage}.pkl"
+            if not stage_path.is_file():
+                continue
+            payload = self._load(stage_path)
+            for name in artifacts:
+                if name in payload:
+                    setattr(ctx, name, payload[name])
+        self._verify(sid, meta, ctx)
+        return ctx
+
+    def delete(self, sid: str) -> bool:
+        """Remove the checkpoint from disk (False if none existed)."""
+        directory = self.path(sid)
+        if not directory.exists():
+            return False
+        shutil.rmtree(directory)
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dump(path: Path, payload: dict) -> None:
+        try:
+            with path.open("wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise CheckpointError(f"cannot serialize {path.name}: {exc}")
+
+    @staticmethod
+    def _load(path: Path) -> dict:
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            raise CheckpointError(f"cannot deserialize {path}: {exc}")
+
+    @staticmethod
+    def _verify(sid: str, meta: dict, ctx: RepairContext) -> None:
+        saved = meta.get("fingerprints", {})
+        current = ctx.fingerprints()
+        if saved != current:
+            raise CheckpointError(
+                f"checkpoint {sid} failed fingerprint verification: "
+                f"saved {saved}, rehydrated {current}"
+            )
+        saved_model = meta.get("model")
+        if ctx.model is not None and saved_model is not None:
+            current_model = ctx.model.content_fingerprint()
+            if current_model != saved_model:
+                raise CheckpointError(
+                    f"checkpoint {sid} model fingerprint mismatch: "
+                    f"saved {saved_model}, rehydrated {current_model}"
+                )

@@ -128,3 +128,33 @@ def test_module_without_multiprocessing_skipped(make_module, make_ctx):
         """,
     )
     assert check(make_ctx, elsewhere) == []
+
+
+def test_executor_submit_flagged(make_module, make_ctx):
+    """`submit` on a process pool pickles its callable too (serve's path)."""
+    bad = make_module(
+        "src/repro/serve/service.py",
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(pool, ctx):
+            return pool.submit(lambda c: c, ctx)
+        """,
+    )
+    assert [f.rule for f in check(make_ctx, bad)] == ["pool-callable"]
+
+
+def test_executor_submit_module_level_ok(make_module, make_ctx):
+    good = make_module(
+        "src/repro/serve/service.py",
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def _job(ctx):
+            return ctx
+
+        def run(pool, ctx):
+            return pool.submit(_job, ctx)
+        """,
+    )
+    assert check(make_ctx, good) == []

@@ -461,3 +461,59 @@ class TestStagePreconditions:
     def test_starting_at_unknown_stage(self):
         with pytest.raises(ValueError, match="no stage named"):
             RepairPlan.default().starting_at("ground")
+
+
+class TestPlanValidation:
+    """Re-entry on a context missing its artifacts fails fast (400-able)."""
+
+    def _ctx(self, figure1_dataset, figure1_constraints):
+        return RepairContext(dataset=figure1_dataset,
+                             constraints=figure1_constraints)
+
+    def test_starting_at_learn_names_missing_model(self, figure1_dataset,
+                                                   figure1_constraints):
+        plan = RepairPlan.default().starting_at("learn")
+        ctx = self._ctx(figure1_dataset, figure1_constraints)
+        with pytest.raises(ValueError, match="CompiledModel"):
+            plan.run(ctx)
+        # The message points at the producing stage and a remedy.
+        with pytest.raises(ValueError, match="'compile'"):
+            plan.run(ctx)
+
+    def test_starting_at_infer_names_missing_weights(self, figure1_dataset,
+                                                     figure1_constraints):
+        # With a compiled model present the earliest gap is the weights.
+        ctx = RepairPlan([DetectStage(), CompileStage()]).run(
+            self._ctx(figure1_dataset, figure1_constraints))
+        with pytest.raises(ValueError, match="learned weights"):
+            RepairPlan.default().starting_at("infer").run(ctx)
+
+    def test_validate_checks_earliest_gap_first(self, figure1_dataset,
+                                                figure1_constraints):
+        ctx = self._ctx(figure1_dataset, figure1_constraints)
+        missing = RepairPlan.default().starting_at("apply").missing_requirements(ctx)
+        assert missing[0][1] == "model"
+
+    def test_full_plan_on_empty_context_is_valid(self, figure1_dataset,
+                                                 figure1_constraints):
+        ctx = self._ctx(figure1_dataset, figure1_constraints)
+        assert RepairPlan.default().missing_requirements(ctx) == []
+        RepairPlan.default().validate(ctx)  # must not raise
+
+    def test_warm_context_revalidates(self, figure1_dataset,
+                                      figure1_constraints):
+        ctx = RepairPlan.default().run(
+            self._ctx(figure1_dataset, figure1_constraints))
+        for stage in ("learn", "infer", "apply"):
+            RepairPlan.default().starting_at(stage).validate(ctx)
+
+    def test_fingerprints_are_stable_and_content_keyed(self, figure1_dataset,
+                                                       figure1_constraints):
+        a = self._ctx(figure1_dataset, figure1_constraints)
+        b = self._ctx(figure1_dataset, figure1_constraints)
+        assert a.fingerprints() == b.fingerprints()
+        assert a.content_fingerprint() == b.content_fingerprint()
+        fewer = RepairContext(dataset=figure1_dataset,
+                              constraints=figure1_constraints[:1])
+        assert fewer.fingerprints()["constraints"] != a.fingerprints()["constraints"]
+        assert fewer.fingerprints()["dataset"] == a.fingerprints()["dataset"]

@@ -1,0 +1,183 @@
+"""Checkpoint round-trips: rehydrated sessions must be indistinguishable.
+
+The serving pledge (ROADMAP item 3): a session serialized to disk,
+evicted, and rehydrated must re-enter the staged plan at ``learn`` or
+``infer`` and produce *marginal-identical* results versus the session
+that stayed warm in memory the whole time — on Hospital and Flights,
+and through the feedback path too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stages import (
+    CompileStage,
+    DetectStage,
+    RepairContext,
+    RepairPlan,
+)
+from repro.serve.checkpoint import CheckpointError, CheckpointStore
+
+from tests.serve.conftest import config_for
+
+
+def _fresh_ctx(generated) -> RepairContext:
+    return RepairContext(
+        dataset=generated.dirty,
+        constraints=list(generated.constraints),
+        config=config_for(generated),
+    )
+
+
+def _assert_same_outcome(warm: RepairContext, rehydrated: RepairContext):
+    """Byte-equality of weights, marginals, and the applied repairs."""
+    np.testing.assert_array_equal(warm.weights, rehydrated.weights)
+    assert warm.losses == rehydrated.losses
+    assert set(warm.marginals) == set(rehydrated.marginals)
+    for vid in warm.marginals:
+        np.testing.assert_array_equal(warm.marginals[vid], rehydrated.marginals[vid])
+    assert warm.result is not None and rehydrated.result is not None
+    assert set(warm.result.inferences) == set(rehydrated.result.inferences)
+    for cell, want in warm.result.inferences.items():
+        got = rehydrated.result.inferences[cell]
+        assert got.chosen_value == want.chosen_value
+        assert got.confidence == want.confidence
+        np.testing.assert_array_equal(got.marginal, want.marginal)
+    assert warm.result.repaired == rehydrated.result.repaired
+
+
+@pytest.mark.parametrize("dataset_fixture", ["hospital", "flights"])
+class TestRoundTrip:
+    def test_reenter_at_learn_matches_warm(self, dataset_fixture, request, tmp_path):
+        generated = request.getfixturevalue(dataset_fixture)
+        warm = RepairPlan.default().run(_fresh_ctx(generated))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", warm)
+
+        rehydrated = store.load("sid")
+        assert rehydrated is not None
+        assert rehydrated.engine is None and rehydrated.tracer is None
+        np.testing.assert_array_equal(rehydrated.weights, warm.weights)
+
+        # Re-enter at learn on both; detect/compile artifacts survived
+        # the trip, so only the learning half runs again.
+        plan = RepairPlan.default().starting_at("learn")
+        warm = plan.run(warm)
+        rehydrated = plan.run(rehydrated)
+        assert rehydrated.stage_status["learn"] == "ran"
+        _assert_same_outcome(warm, rehydrated)
+
+    def test_reenter_at_infer_matches_warm(self, dataset_fixture, request, tmp_path):
+        generated = request.getfixturevalue(dataset_fixture)
+        warm = RepairPlan.default().run(_fresh_ctx(generated))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", warm)
+        rehydrated = store.load("sid")
+
+        plan = RepairPlan.default().starting_at("infer")
+        warm = plan.run(warm)
+        rehydrated = plan.run(rehydrated)
+        _assert_same_outcome(warm, rehydrated)
+
+    def test_feedback_path_matches_warm(self, dataset_fixture, request, tmp_path):
+        generated = request.getfixturevalue(dataset_fixture)
+        warm = RepairPlan.default().run(_fresh_ctx(generated))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", warm)
+        rehydrated = store.load("sid")
+
+        # The same user verification lands on both contexts.
+        info = warm.model.graph.variables[warm.model.query_ids[0]]
+        verified = info.domain[-1]
+        plan = RepairPlan.default().starting_at("learn")
+        warm.feedback[info.cell] = verified
+        rehydrated.feedback[info.cell] = verified
+        warm = plan.run(warm)
+        rehydrated = plan.run(rehydrated)
+        _assert_same_outcome(warm, rehydrated)
+        assert warm.result.inferences[info.cell].chosen_value == verified
+
+    def test_feedback_survives_the_checkpoint_itself(
+        self, dataset_fixture, request, tmp_path
+    ):
+        generated = request.getfixturevalue(dataset_fixture)
+        warm = RepairPlan.default().run(_fresh_ctx(generated))
+        info = warm.model.graph.variables[warm.model.query_ids[0]]
+        verified = info.domain[-1]
+        warm.feedback[info.cell] = verified
+        plan = RepairPlan.default().starting_at("learn")
+        warm = plan.run(warm)
+
+        store = CheckpointStore(tmp_path)
+        store.save("sid", warm)
+        rehydrated = store.load("sid")
+        assert rehydrated.feedback == {info.cell: verified}
+        rehydrated = plan.run(rehydrated)
+        warm = plan.run(warm)
+        _assert_same_outcome(warm, rehydrated)
+
+
+class TestMidPipelineCheckpoint:
+    def test_compile_only_checkpoint_resumes(self, hospital, tmp_path):
+        """A session checkpointed before learn resumes mid-pipeline."""
+        partial = RepairPlan([DetectStage(), CompileStage()]).run(_fresh_ctx(hospital))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", partial)
+
+        rehydrated = store.load("sid")
+        assert rehydrated.model is not None
+        assert rehydrated.weights is None
+        assert not (store.path("sid") / "learn.pkl").exists()
+
+        warm = RepairPlan.default().run(_fresh_ctx(hospital))
+        rehydrated = RepairPlan.default().run(rehydrated)
+        assert rehydrated.stage_status["detect"] == "skipped"
+        assert rehydrated.stage_status["compile"] == "skipped"
+        _assert_same_outcome(warm, rehydrated)
+
+
+class TestStoreMechanics:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load("nope") is None
+
+    def test_has_delete_and_listing(self, hospital, tmp_path):
+        ctx = RepairPlan.default().run(_fresh_ctx(hospital))
+        store = CheckpointStore(tmp_path)
+        store.save("aaa", ctx)
+        store.save("bbb", ctx)
+        assert store.has("aaa")
+        assert store.session_ids() == ["aaa", "bbb"]
+        assert store.delete("aaa")
+        assert not store.has("aaa")
+        assert not store.delete("aaa")
+
+    def test_version_mismatch_rejected(self, hospital, tmp_path):
+        ctx = RepairPlan.default().run(_fresh_ctx(hospital))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", ctx)
+        meta = store.path("sid") / "meta.json"
+        meta.write_text(meta.read_text().replace('"version": 1', '"version": 99'))
+        with pytest.raises(CheckpointError, match="format version"):
+            store.load("sid")
+
+    def test_fingerprint_tamper_rejected(self, hospital, tmp_path):
+        ctx = RepairPlan.default().run(_fresh_ctx(hospital))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", ctx)
+        meta = store.path("sid") / "meta.json"
+        tampered = meta.read_text().replace(ctx.fingerprints()["dataset"], "0" * 12)
+        meta.write_text(tampered)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            store.load("sid")
+
+    def test_save_overwrites_atomically(self, hospital, tmp_path):
+        ctx = RepairPlan.default().run(_fresh_ctx(hospital))
+        store = CheckpointStore(tmp_path)
+        store.save("sid", ctx)
+        first = (store.path("sid") / "meta.json").read_text()
+        store.save("sid", ctx)
+        assert (store.path("sid") / "meta.json").read_text() == first
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+        assert leftovers == []

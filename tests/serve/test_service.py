@@ -1,0 +1,301 @@
+"""RepairService behaviour: paths, feedback, errors, admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HoloCleanConfig
+from repro.serve.service import (
+    BadRequest,
+    NotFound,
+    RepairService,
+    Saturated,
+)
+
+from tests.serve.conftest import payload_for
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = RepairService(
+        HoloCleanConfig(serve_workers=0, serve_checkpoint_dir=str(tmp_path))
+    )
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def ephemeral_service():
+    svc = RepairService(HoloCleanConfig(serve_workers=0))
+    yield svc
+    svc.close()
+
+
+class TestRepairPaths:
+    def test_cold_then_warm(self, service, hospital):
+        payload = payload_for(hospital)
+        first = service.repair(payload)
+        assert first["path"] == "cold"
+        assert first["num_repairs"] > 0
+        assert first["stage_status"]["compile"] == "ran"
+
+        second = service.repair(payload)
+        assert second["path"] == "warm"
+        assert second["session"] == first["session"]
+        assert second["stage_status"]["detect"] == "skipped"
+        assert second["stage_status"]["compile"] == "skipped"
+        assert second["repairs"] == first["repairs"]
+
+    def test_session_id_is_content_keyed(self, service, hospital):
+        renamed = payload_for(hospital)
+        renamed["dataset"]["name"] = "same-rows-other-name"
+        base = service.repair(payload_for(hospital))
+        again = service.repair(renamed)
+        assert again["session"] == base["session"]
+        assert again["path"] == "warm"
+
+    def test_config_change_stays_warm(self, service, hospital):
+        base = service.repair(payload_for(hospital))
+        retuned = service.repair(payload_for(hospital, epochs=14))
+        assert retuned["session"] == base["session"]
+        assert retuned["path"] == "warm"
+        assert retuned["stage_status"]["compile"] == "skipped"
+
+    def test_recompile_flag_forces_compile(self, service, hospital):
+        service.repair(payload_for(hospital))
+        payload = payload_for(hospital, tau=0.9)
+        payload["recompile"] = True
+        redone = service.repair(payload)
+        assert redone["path"] == "warm"
+        assert redone["stage_status"]["compile"] == "ran"
+        assert redone["stage_status"]["detect"] == "skipped"
+
+    def test_evict_then_rehydrate_identical(self, service, hospital):
+        payload = payload_for(hospital)
+        warm = service.repair(payload)
+        sid = warm["session"]
+        gone = service.delete_session(sid)
+        assert gone["evicted"] and gone["checkpointed"]
+
+        back = service.repair(payload)
+        assert back["path"] == "rehydrated"
+        assert back["stage_status"]["compile"] == "skipped"
+        assert back["repairs"] == warm["repairs"]
+
+    def test_purged_session_pays_cold(self, ephemeral_service, hospital):
+        payload = payload_for(hospital)
+        first = ephemeral_service.repair(payload)
+        ephemeral_service.delete_session(first["session"], checkpoint=False)
+        again = ephemeral_service.repair(payload)
+        assert again["path"] == "cold"
+
+    def test_report_on_request(self, service, hospital):
+        payload = payload_for(hospital)
+        payload["report"] = True
+        response = service.repair(payload)
+        assert response["report"]["stage_status"]["apply"] == "ran"
+        assert response["report"]["fingerprint"]
+
+
+class TestFeedback:
+    def test_feedback_clamps_choice(self, service, hospital):
+        payload = payload_for(hospital)
+        first = service.repair(payload)
+        sid = first["session"]
+        cells = service.marginals(sid)["cells"]
+        target = cells[0]
+        verified = target["domain"][-1]
+        response = service.feedback(
+            sid,
+            {
+                "cells": [
+                    {
+                        "tid": target["tid"],
+                        "attribute": target["attribute"],
+                        "value": verified,
+                    }
+                ]
+            },
+        )
+        assert response["path"] == "warm"
+        assert response["feedback_count"] == 1
+        after = service.marginals(sid, tid=target["tid"], attribute=target["attribute"])
+        assert after["cells"]
+
+    def test_feedback_on_unmodeled_cell_rejected(self, service, flights):
+        sid = service.repair(payload_for(flights))["session"]
+        # The source column carries provenance, not data: it never gets
+        # a factor-graph variable, so feedback on it is meaningless.
+        source = flights.dirty.schema.with_role("source")[0]
+        with pytest.raises(BadRequest, match="not a noisy cell"):
+            service.feedback(
+                sid,
+                {"cells": [{"tid": 0, "attribute": source, "value": "x"}]},
+            )
+
+    def test_feedback_needs_cells(self, service, hospital):
+        sid = service.repair(payload_for(hospital))["session"]
+        with pytest.raises(BadRequest, match="cells"):
+            service.feedback(sid, {})
+
+    def test_feedback_unknown_session(self, service):
+        with pytest.raises(NotFound):
+            service.feedback("feedbeefcafe", {"cells": [{}]})
+
+
+class TestMarginals:
+    def test_filters(self, service, hospital):
+        sid = service.repair(payload_for(hospital))["session"]
+        everything = service.marginals(sid)["cells"]
+        tid = everything[0]["tid"]
+        subset = service.marginals(sid, tid=tid)["cells"]
+        assert subset and all(c["tid"] == tid for c in subset)
+        for cell in subset:
+            assert cell["confidence"] == max(cell["marginal"])
+
+    def test_unknown_session(self, service):
+        with pytest.raises(NotFound):
+            service.marginals("feedbeefcafe")
+
+    def test_rehydrates_from_checkpoint(self, service, hospital):
+        sid = service.repair(payload_for(hospital))["session"]
+        before = service.marginals(sid)["cells"]
+        service.delete_session(sid)  # evict but keep the checkpoint
+        after = service.marginals(sid)["cells"]
+        assert after == before
+
+
+class TestValidation:
+    def test_missing_dataset(self, ephemeral_service):
+        with pytest.raises(BadRequest, match="dataset"):
+            ephemeral_service.repair({"constraints": []})
+
+    def test_ragged_rows(self, ephemeral_service):
+        with pytest.raises(BadRequest, match="values"):
+            ephemeral_service.repair(
+                {
+                    "dataset": {"columns": ["A", "B"], "rows": [["x"]]},
+                    "constraints": ["t1&t2&EQ(t1.A,t2.A)&IQ(t1.B,t2.B)"],
+                }
+            )
+
+    def test_bad_constraint_text(self, ephemeral_service):
+        with pytest.raises(BadRequest, match="constraint"):
+            ephemeral_service.repair(
+                {
+                    "dataset": {"columns": ["A"], "rows": [["x"]]},
+                    "constraints": ["NOT A DC"],
+                }
+            )
+
+    def test_no_constraints(self, ephemeral_service):
+        with pytest.raises(BadRequest, match="constraints"):
+            ephemeral_service.repair({"dataset": {"columns": ["A"], "rows": [["x"]]}})
+
+    def test_unknown_config_field(self, ephemeral_service, hospital):
+        payload = payload_for(hospital)
+        payload["config"]["no_such_knob"] = 1
+        with pytest.raises(BadRequest, match="config"):
+            ephemeral_service.repair(payload)
+
+    def test_serve_knobs_are_operator_only(self, ephemeral_service, hospital):
+        payload = payload_for(hospital)
+        payload["config"]["serve_workers"] = 64
+        with pytest.raises(BadRequest, match="operator-only"):
+            ephemeral_service.repair(payload)
+
+    def test_delete_unknown_session(self, ephemeral_service):
+        with pytest.raises(NotFound):
+            ephemeral_service.delete_session("feedbeefcafe")
+
+
+class TestAdmissionControl:
+    def test_saturation_raises_429(self, hospital):
+        svc = RepairService(HoloCleanConfig(serve_workers=0, serve_queue_depth=0))
+        try:
+            svc._admit()  # the single slot is now taken
+            with pytest.raises(Saturated):
+                svc.submit_repair(payload_for(hospital))
+            assert svc._counts["rejected"] == 1
+            with svc._gate:
+                svc._inflight -= 1
+        finally:
+            svc.close()
+
+    def test_slots_released_after_job(self, ephemeral_service, hospital):
+        ephemeral_service.repair(payload_for(hospital))
+        assert ephemeral_service._inflight == 0
+
+
+class TestLifecycle:
+    def test_eviction_checkpoints(self, tmp_path, hospital, flights):
+        svc = RepairService(
+            HoloCleanConfig(
+                serve_workers=0,
+                serve_max_sessions=1,
+                serve_checkpoint_dir=str(tmp_path),
+            )
+        )
+        try:
+            first = svc.repair(payload_for(hospital))
+            svc.repair(payload_for(flights))  # displaces the hospital session
+            assert len(svc.store) == 1
+            assert svc.checkpoints.has(first["session"])
+            back = svc.repair(payload_for(hospital))
+            assert back["path"] == "rehydrated"
+        finally:
+            svc.close()
+
+    def test_close_checkpoints_warm_sessions(self, tmp_path, hospital):
+        svc = RepairService(
+            HoloCleanConfig(serve_workers=0, serve_checkpoint_dir=str(tmp_path))
+        )
+        sid = svc.repair(payload_for(hospital))["session"]
+        svc.close()
+        assert svc.checkpoints.has(sid)
+
+    def test_metrics_snapshot(self, service, hospital):
+        service.repair(payload_for(hospital))
+        service.repair(payload_for(hospital))
+        snapshot = service.metrics_snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["serve.requests_total"] == 2
+        assert gauges["serve.cold_total"] == 1
+        assert gauges["serve.warm_total"] == 1
+        assert gauges["serve.sessions"] == 1
+        assert snapshot["labels"]["serve.last_path"] == "warm"
+        assert len(snapshot["series"]["serve.job_seconds"]) == 2
+
+    def test_health(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["checkpointing"] is True
+
+
+class TestProcessPool:
+    def test_cold_runs_through_pool(self, hospital):
+        svc = RepairService(HoloCleanConfig(serve_workers=1))
+        try:
+            if svc._process_pool() is None:
+                pytest.skip("fork-based pool unavailable on this platform")
+            cold = svc.repair(payload_for(hospital))
+            assert cold["path"] == "cold"
+            warm = svc.repair(payload_for(hospital))
+            assert warm["path"] == "warm"
+            assert warm["repairs"] == cold["repairs"]
+        finally:
+            svc.close()
+
+    def test_pool_output_matches_inline(self, hospital):
+        pooled = RepairService(HoloCleanConfig(serve_workers=1))
+        inline = RepairService(HoloCleanConfig(serve_workers=0))
+        try:
+            if pooled._process_pool() is None:
+                pytest.skip("fork-based pool unavailable on this platform")
+            a = pooled.repair(payload_for(hospital))
+            b = inline.repair(payload_for(hospital))
+            assert a["repairs"] == b["repairs"]
+            assert a["session"] == b["session"]
+        finally:
+            pooled.close()
+            inline.close()

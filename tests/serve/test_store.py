@@ -1,0 +1,110 @@
+"""LRU and keying semantics of the serving session store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import RepairContext
+from repro.dataset.dataset import Dataset
+from repro.dataset.schema import Schema
+from repro.serve.store import SessionKey, SessionStore
+
+
+def _ctx(tag: str) -> RepairContext:
+    dataset = Dataset(Schema(["A"]), [[tag]], name=tag)
+    return RepairContext(dataset=dataset, constraints=[])
+
+
+def _key(tag: str) -> SessionKey:
+    return SessionKey(dataset=f"d-{tag}", constraints=f"c-{tag}")
+
+
+class TestSessionKey:
+    def test_session_id_deterministic(self):
+        assert _key("x").session_id == _key("x").session_id
+        assert _key("x").session_id != _key("y").session_id
+
+    def test_for_context_matches_fingerprints(self):
+        ctx = _ctx("a")
+        key = SessionKey.for_context(ctx)
+        parts = ctx.fingerprints()
+        assert key.dataset == parts["dataset"]
+        assert key.constraints == parts["constraints"]
+
+    def test_config_not_part_of_key(self):
+        ctx = _ctx("a")
+        recooked = RepairContext(
+            dataset=ctx.dataset,
+            constraints=ctx.constraints,
+            config=ctx.config.with_(epochs=3),
+        )
+        assert SessionKey.for_context(ctx) == SessionKey.for_context(recooked)
+
+
+class TestSessionStore:
+    def test_admit_and_lookup(self):
+        store = SessionStore(capacity=2)
+        key = _key("a")
+        session = store.admit(key, _ctx("a"))
+        assert store.lookup(key) is session
+        assert store.get(session.sid) is session
+        assert len(store) == 1
+
+    def test_miss_counts(self):
+        store = SessionStore(capacity=2)
+        assert store.get("feedbeefcafe") is None
+        assert store.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        evicted = []
+        store = SessionStore(capacity=2, on_evict=lambda s: evicted.append(s.sid))
+        a = store.admit(_key("a"), _ctx("a"))
+        store.admit(_key("b"), _ctx("b"))
+        store.get(a.sid)  # refresh a; b becomes LRU
+        store.admit(_key("c"), _ctx("c"))
+        assert evicted == [_key("b").session_id]
+        assert a.sid in store
+        assert _key("c").session_id in store
+
+    def test_remove_skips_on_evict(self):
+        evicted = []
+        store = SessionStore(capacity=2, on_evict=lambda s: evicted.append(s.sid))
+        session = store.admit(_key("a"), _ctx("a"))
+        assert store.remove(session.sid) is session
+        assert evicted == []
+        assert store.remove(session.sid) is None
+
+    def test_evict_invokes_callback(self):
+        evicted = []
+        store = SessionStore(capacity=2, on_evict=lambda s: evicted.append(s.sid))
+        session = store.admit(_key("a"), _ctx("a"))
+        assert store.evict(session.sid) is session
+        assert evicted == [session.sid]
+
+    def test_readmit_same_key_replaces(self):
+        store = SessionStore(capacity=2)
+        first = store.admit(_key("a"), _ctx("a"))
+        second = store.admit(_key("a"), _ctx("a2"))
+        assert first is not second
+        assert len(store) == 1
+        assert store.get(second.sid) is second
+
+    def test_touch_tracks_requests(self):
+        store = SessionStore(capacity=2)
+        session = store.admit(_key("a"), _ctx("a"))
+        before = session.requests
+        store.get(session.sid)
+        assert session.requests == before + 1
+
+    def test_clear_with_evict(self):
+        evicted = []
+        store = SessionStore(capacity=4, on_evict=lambda s: evicted.append(s.sid))
+        store.admit(_key("a"), _ctx("a"))
+        store.admit(_key("b"), _ctx("b"))
+        store.clear(evict=True)
+        assert len(store) == 0
+        assert len(evicted) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SessionStore(capacity=0)
